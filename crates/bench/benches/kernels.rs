@@ -1,0 +1,69 @@
+//! Criterion benches of the local computation kernels (the `MM` and
+//! `Gram` tasks): dense GEMM in the shapes the algorithms use, sparse
+//! SpMM, and the Gram products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmf_matrix::rng::Fill;
+use nmf_matrix::{gram, matmul, matmul_ta, outer_gram, Mat};
+use nmf_sparse::gen::erdos_renyi;
+use nmf_sparse::{spmm_at_dense, spmm_dense_t};
+use std::time::Duration;
+
+fn bench_dense_mm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_mm");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    // A_ij · Hⱼᵀ: (m/pr × n/pc) times (n/pc × k).
+    for &(m, n, k) in &[(512usize, 512usize, 16usize), (512, 512, 64), (2048, 64, 16)] {
+        let a = Mat::uniform(m, n, 1);
+        let ht = Mat::uniform(n, k, 2);
+        g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        g.bench_with_input(BenchmarkId::new("a_ht", format!("{m}x{n}x{k}")), &(), |b, ()| {
+            b.iter(|| matmul(&a, &ht))
+        });
+        let w = Mat::uniform(m, k, 3);
+        g.bench_with_input(BenchmarkId::new("at_w", format!("{m}x{n}x{k}")), &(), |b, ()| {
+            b.iter(|| matmul_ta(&a, &w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_mm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_mm");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    for &(m, n, density, k) in &[(4096usize, 4096usize, 0.001f64, 16usize), (4096, 4096, 0.01, 16)]
+    {
+        let a = erdos_renyi(m, n, density, 4);
+        let ht = Mat::uniform(n, k, 5);
+        let w = Mat::uniform(m, k, 6);
+        g.throughput(Throughput::Elements((2 * a.nnz() * k) as u64));
+        let label = format!("{m}x{n}_d{density}_k{k}");
+        g.bench_with_input(BenchmarkId::new("a_ht", &label), &(), |b, ()| {
+            b.iter(|| spmm_dense_t(&a, &ht))
+        });
+        g.bench_with_input(BenchmarkId::new("at_w", &label), &(), |b, ()| {
+            b.iter(|| spmm_at_dense(&a, &w))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    for &(r, k) in &[(4096usize, 16usize), (4096, 64)] {
+        let x = Mat::uniform(r, k, 7);
+        g.throughput(Throughput::Elements((r * k * k) as u64));
+        g.bench_with_input(BenchmarkId::new("xtx", format!("{r}x{k}")), &(), |b, ()| {
+            b.iter(|| gram(&x))
+        });
+        let xt = Mat::uniform(k, r, 8);
+        g.bench_with_input(BenchmarkId::new("xxt", format!("{k}x{r}")), &(), |b, ()| {
+            b.iter(|| outer_gram(&xt))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_mm, bench_sparse_mm, bench_gram);
+criterion_main!(benches);

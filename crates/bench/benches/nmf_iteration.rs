@@ -1,0 +1,46 @@
+//! Criterion benches of whole NMF iterations: sequential vs Naive vs
+//! HPC-NMF 1D/2D on scaled SSYN/DSYN-like inputs — the end-to-end
+//! numbers behind the per-iteration comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_nmf::prelude::*;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_sparse::gen::erdos_renyi;
+use std::time::Duration;
+
+fn bench_dense_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nmf_iter_dense");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    let input = Input::Dense(Mat::uniform(720, 480, 31));
+    let k = 16;
+    let config = NmfConfig::new(k).with_max_iters(2);
+    for (algo, p) in [
+        (Algo::Sequential, 1usize),
+        (Algo::Naive, 8),
+        (Algo::Hpc1D, 8),
+        (Algo::Hpc2D, 8),
+    ] {
+        g.bench_with_input(BenchmarkId::new(algo.name(), p), &(), |b, ()| {
+            b.iter(|| factorize(&input, p, algo, &config).objective)
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nmf_iter_sparse");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    let input = Input::Sparse(erdos_renyi(2880, 1920, 0.02, 32));
+    let k = 16;
+    let config = NmfConfig::new(k).with_max_iters(2);
+    for (algo, p) in [(Algo::Naive, 8usize), (Algo::Hpc1D, 8), (Algo::Hpc2D, 8)] {
+        g.bench_with_input(BenchmarkId::new(algo.name(), p), &(), |b, ()| {
+            b.iter(|| factorize(&input, p, algo, &config).objective)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_iteration, bench_sparse_iteration);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Command-line NMF driver: factorize a Matrix Market file or a
+//! generated dataset with any algorithm/solver/grid combination.
+//!
+//! ```sh
+//! cargo run --release -p nmf-bench --bin nmf_cli -- --dataset ssyn --scale 200 \
+//!     --algo hpc2d --ranks 8 --k 10 --iters 20
+//! cargo run --release -p nmf-bench --bin nmf_cli -- --input graph.mtx --k 8
+//! ```
+
+use hpc_nmf::prelude::*;
+use hpc_nmf::total_comm;
+use nmf_data::DatasetKind;
+use nmf_vmpi::Op;
+use std::process::exit;
+
+struct Args {
+    input: Option<String>,
+    dataset: Option<String>,
+    scale: usize,
+    algo: String,
+    ranks: usize,
+    k: usize,
+    iters: usize,
+    tol: Option<f64>,
+    solver: String,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            input: None,
+            dataset: None,
+            scale: 200,
+            algo: "hpc2d".into(),
+            ranks: 4,
+            k: 10,
+            iters: 20,
+            tol: None,
+            solver: "bpp".into(),
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--input" => args.input = Some(val("--input")),
+                "--dataset" => args.dataset = Some(val("--dataset")),
+                "--scale" => args.scale = parse_num(&val("--scale")),
+                "--algo" => args.algo = val("--algo"),
+                "--ranks" | "-p" => args.ranks = parse_num(&val("--ranks")),
+                "--k" | "-k" => args.k = parse_num(&val("--k")),
+                "--iters" => args.iters = parse_num(&val("--iters")),
+                "--tol" => args.tol = Some(parse_float(&val("--tol"))),
+                "--solver" => args.solver = val("--solver"),
+                "--seed" => args.seed = parse_num(&val("--seed")) as u64,
+                "--help" | "-h" => {
+                    print_help();
+                    exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    print_help();
+                    exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected an integer, got '{s}'");
+        exit(2);
+    })
+}
+
+fn parse_float(s: &str) -> f64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got '{s}'");
+        exit(2);
+    })
+}
+
+fn print_help() {
+    println!(
+        "nmf_cli — distributed NMF on a virtual MPI\n\
+         \n\
+         input (choose one):\n\
+         \x20 --input FILE.mtx        Matrix Market file (coordinate or array)\n\
+         \x20 --dataset NAME          dsyn | ssyn | video | webbase (generated)\n\
+         \x20 --scale N               divide paper dims by N (default 200)\n\
+         \n\
+         options:\n\
+         \x20 --algo A                seq | naive | hpc1d | hpc2d (default hpc2d)\n\
+         \x20 --ranks P               virtual ranks (default 4)\n\
+         \x20 --k K                   low rank (default 10)\n\
+         \x20 --iters N               max iterations (default 20)\n\
+         \x20 --tol T                 early-stop tolerance\n\
+         \x20 --solver S              bpp | mu | hals | activeset (default bpp)\n\
+         \x20 --seed N                RNG seed (default 42)"
+    );
+}
+
+fn load_input(args: &Args) -> Input {
+    if let Some(path) = &args.input {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1);
+        });
+        // Peek the banner to pick sparse vs dense.
+        let text = std::io::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        if text.lines().next().is_some_and(|l| l.contains("array")) {
+            match nmf_sparse::io::read_matrix_market_dense(text.as_bytes()) {
+                Ok(m) => Input::Dense(m),
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    exit(1);
+                }
+            }
+        } else {
+            match nmf_sparse::io::read_matrix_market(text.as_bytes()) {
+                Ok(m) => Input::Sparse(m),
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    exit(1);
+                }
+            }
+        }
+    } else {
+        let kind = match args.dataset.as_deref() {
+            Some("dsyn") => DatasetKind::Dsyn,
+            Some("ssyn") | None => DatasetKind::Ssyn,
+            Some("video") => DatasetKind::Video,
+            Some("webbase") => DatasetKind::Webbase,
+            Some(other) => {
+                eprintln!("unknown dataset '{other}'");
+                exit(2);
+            }
+        };
+        kind.build(args.scale, args.seed).input
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let input = load_input(&args);
+    let (m, n) = input.shape();
+    let algo = match args.algo.as_str() {
+        "seq" => Algo::Sequential,
+        "naive" => Algo::Naive,
+        "hpc1d" => Algo::Hpc1D,
+        "hpc2d" => Algo::Hpc2D,
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            exit(2);
+        }
+    };
+    let solver = match args.solver.as_str() {
+        "bpp" => SolverKind::Bpp,
+        "mu" => SolverKind::Mu,
+        "hals" => SolverKind::Hals,
+        "activeset" => SolverKind::ActiveSet,
+        other => {
+            eprintln!("unknown solver '{other}'");
+            exit(2);
+        }
+    };
+    let mut config =
+        NmfConfig::new(args.k).with_max_iters(args.iters).with_solver(solver).with_seed(args.seed);
+    if let Some(t) = args.tol {
+        config = config.with_tol(t);
+    }
+
+    let grid = algo.grid(m, n, args.ranks);
+    println!(
+        "{}x{} ({} nnz), {} on {} ranks (grid {}x{}), k={}, solver {:?}",
+        m,
+        n,
+        input.nnz(),
+        algo.name(),
+        args.ranks,
+        grid.pr,
+        grid.pc,
+        args.k,
+        solver
+    );
+
+    let t0 = std::time::Instant::now();
+    let out = factorize(&input, args.ranks, algo, &config);
+    let wall = t0.elapsed();
+
+    println!(
+        "\n{} iterations in {:.2?} ({:.4} s/iter)",
+        out.iterations,
+        wall,
+        wall.as_secs_f64() / out.iterations.max(1) as f64
+    );
+    println!("relative error: {:.6}", out.rel_error);
+    println!("objective:      {:.6e}", out.objective);
+    if !out.rank_comm.is_empty() {
+        let comm = total_comm(&out);
+        println!("\ncommunication (all ranks):");
+        for op in [Op::AllGather, Op::ReduceScatter, Op::AllReduce] {
+            let s = comm.op(op);
+            println!("  {:<15} {:>12} words {:>8} msgs", op.name(), s.words, s.messages);
+        }
+    }
+}

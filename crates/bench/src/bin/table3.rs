@@ -1,0 +1,80 @@
+//! Table 3: per-iteration running times of the parallel NMF algorithms
+//! for k = 50 — all datasets × algorithms × processor counts, in the
+//! paper's layout.
+//!
+//! Section A prints the paper-scale model (the counterpart of the
+//! paper's Edison numbers); Section B prints measured totals on this
+//! machine at feasible rank counts.
+//!
+//! ```sh
+//! cargo run --release -p nmf-bench --bin table3
+//! ```
+
+
+use nmf_bench::{measure, measured_dataset, model_row, PAPER_ALGOS};
+use nmf_data::{DatasetKind, PerfModel};
+
+const DATASETS: [DatasetKind; 4] =
+    [DatasetKind::Dsyn, DatasetKind::Ssyn, DatasetKind::Video, DatasetKind::Webbase];
+
+fn main() {
+    let k = 50usize;
+    let pm = PerfModel::default();
+
+    println!("Table 3: per-iteration running times (seconds) for k = {k}");
+    println!("\nSection A: paper-scale model (paper dims, Edison-like constants)\n");
+    // The paper benchmarks the dense sets only at >= 216 cores (memory).
+    let ps = [24usize, 96, 216, 384, 600];
+    print!("{:<8}", "cores");
+    for algo in PAPER_ALGOS {
+        for kind in DATASETS {
+            print!(" {:>13}", format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name()));
+        }
+    }
+    println!();
+    for &p in &ps {
+        print!("{:<8}", p);
+        for algo in PAPER_ALGOS {
+            for kind in DATASETS {
+                let dense_too_big_for_few_nodes =
+                    !kind.is_sparse() && p < 216 && kind != DatasetKind::Video;
+                if dense_too_big_for_few_nodes {
+                    print!(" {:>13}", "-");
+                } else {
+                    print!(" {:>13.4}", model_row(&pm, kind, algo, p, k).total());
+                }
+            }
+        }
+        println!();
+    }
+
+    println!("\nSection B: measured on this machine (scaled datasets)\n");
+    let ps_measured = [4usize, 8, 16];
+    let iters = 3;
+    print!("{:<8}", "ranks");
+    for algo in PAPER_ALGOS {
+        for kind in DATASETS {
+            print!(" {:>13}", format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name()));
+        }
+    }
+    println!();
+    for &p in &ps_measured {
+        print!("{:<8}", p);
+        for algo in PAPER_ALGOS {
+            for kind in DATASETS {
+                let data = measured_dataset(kind, 44);
+                let (m, n) = data.input.shape();
+                let k_used = k.min(m.min(n) / 2).max(2);
+                let row = measure(&data.input, p, algo, k_used, iters);
+                print!(" {:>13.4}", row.total());
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nQualitative check (§6.2): the paper quotes ~50 min/iteration for a Hadoop MU \
+         implementation vs ~1 s/iteration for HPC-NMF on 24 nodes; every configuration \
+         above is orders of magnitude below the Hadoop figure."
+    );
+}

@@ -1,0 +1,228 @@
+//! Configuration and result types shared by all NMF drivers.
+
+use nmf_matrix::rng::random_factor;
+use nmf_matrix::Mat;
+use nmf_nls::SolverKind;
+use nmf_vmpi::CommStats;
+use std::time::Duration;
+
+/// Settings for one factorization run.
+#[derive(Clone, Copy, Debug)]
+pub struct NmfConfig {
+    /// Low rank `k` of the approximation.
+    pub k: usize,
+    /// Maximum ANLS outer iterations.
+    pub max_iters: usize,
+    /// Optional early stop: halt when the relative objective improvement
+    /// `(f_prev − f) / f₀` drops below this.
+    pub tol: Option<f64>,
+    /// Local NLS solver.
+    pub solver: SolverKind,
+    /// Seed for the factor initialization. The same seed produces the
+    /// same initial `H` (and `W`) in every driver — sequential, naive,
+    /// and HPC — which is the paper's §6.1.3 protocol for making the
+    /// algorithms perform identical computations.
+    pub seed: u64,
+    /// Frobenius (L2) regularization `λ_W‖W‖²_F` on the left factor.
+    ///
+    /// Extension beyond the paper's objective (standard in the ANLS
+    /// literature, e.g. Kim/He/Park 2014): implemented by shifting the
+    /// Gram matrix `HHᵀ + λ_W·I` before the local NLS solves, so it
+    /// costs nothing extra in communication.
+    pub l2_w: f64,
+    /// Frobenius (L2) regularization `λ_H‖H‖²_F` on the right factor.
+    pub l2_h: f64,
+}
+
+impl NmfConfig {
+    pub fn new(k: usize) -> Self {
+        NmfConfig {
+            k,
+            max_iters: 20,
+            tol: None,
+            solver: SolverKind::Bpp,
+            seed: 0x5eed,
+            l2_w: 0.0,
+            l2_h: 0.0,
+        }
+    }
+
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    pub fn with_max_iters(mut self, it: usize) -> Self {
+        self.max_iters = it;
+        self
+    }
+
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = Some(tol);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets Frobenius regularization on both factors.
+    pub fn with_l2(mut self, l2_w: f64, l2_h: f64) -> Self {
+        assert!(l2_w >= 0.0 && l2_h >= 0.0, "regularization must be nonnegative");
+        self.l2_w = l2_w;
+        self.l2_h = l2_h;
+        self
+    }
+}
+
+/// Adds `lambda` to the diagonal of a Gram matrix in place (the
+/// normal-equation form of Frobenius regularization).
+pub fn apply_ridge(gram: &mut Mat, lambda: f64) {
+    if lambda > 0.0 {
+        for i in 0..gram.nrows() {
+            gram[(i, i)] += lambda;
+        }
+    }
+}
+
+/// The deterministic global initialization of `H`, stored transposed
+/// (`n×k`, row `j` holds column `j` of `H`). Every driver slices this
+/// same matrix, so iterates agree across drivers and processor counts.
+pub fn init_ht(n: usize, k: usize, seed: u64) -> Mat {
+    random_factor(n, k, k, seed ^ 0x48)
+}
+
+/// Deterministic global initialization of `W` (`m×k`). Only consumed by
+/// the iterative solvers (MU/HALS); BPP overwrites it (the paper notes
+/// "W need not be initialized" for BPP).
+pub fn init_w(m: usize, k: usize, seed: u64) -> Mat {
+    random_factor(m, k, k, seed ^ 0x57)
+}
+
+/// Per-iteration wall-clock breakdown of the local computation tasks
+/// (paper §6.3 names: MM, NLS, Gram).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskTimes {
+    pub mm: Duration,
+    pub nls: Duration,
+    pub gram: Duration,
+}
+
+impl TaskTimes {
+    pub fn total(&self) -> Duration {
+        self.mm + self.nls + self.gram
+    }
+
+    pub fn merge(&mut self, other: &TaskTimes) {
+        self.mm += other.mm;
+        self.nls += other.nls;
+        self.gram += other.gram;
+    }
+
+    /// Component-wise maximum (critical-path aggregation across ranks).
+    pub fn max(&self, other: &TaskTimes) -> TaskTimes {
+        TaskTimes {
+            mm: self.mm.max(other.mm),
+            nls: self.nls.max(other.nls),
+            gram: self.gram.max(other.gram),
+        }
+    }
+}
+
+/// One outer iteration's record on one rank.
+#[derive(Clone, Debug)]
+pub struct IterRecord {
+    /// Objective `‖A − WH‖²_F` after this iteration's `H` update.
+    pub objective: f64,
+    /// Local computation breakdown.
+    pub compute: TaskTimes,
+    /// Communication this iteration (words/messages/time per collective).
+    pub comm: CommStats,
+}
+
+/// Result of a factorization.
+#[derive(Debug)]
+pub struct NmfOutput {
+    /// Left factor, `m×k`, nonnegative.
+    pub w: Mat,
+    /// Right factor, `k×n`, nonnegative.
+    pub h: Mat,
+    /// Final objective `‖A − WH‖²_F`.
+    pub objective: f64,
+    /// Final relative error `‖A − WH‖_F / ‖A‖_F`.
+    pub rel_error: f64,
+    /// Per-iteration records aggregated across ranks (max time per task —
+    /// the critical path; comm counters from the max-total-words rank).
+    pub iters: Vec<IterRecord>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Per-rank total communication counters, rank order.
+    pub rank_comm: Vec<CommStats>,
+}
+
+impl NmfOutput {
+    /// Objective history across iterations.
+    pub fn history(&self) -> Vec<f64> {
+        self.iters.iter().map(|r| r.objective).collect()
+    }
+
+    /// Sum of per-iteration compute breakdowns.
+    pub fn compute_total(&self) -> TaskTimes {
+        let mut t = TaskTimes::default();
+        for r in &self.iters {
+            t.merge(&r.compute);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_chains() {
+        let c = NmfConfig::new(10)
+            .with_solver(SolverKind::Hals)
+            .with_max_iters(5)
+            .with_tol(1e-4)
+            .with_seed(9);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.solver, SolverKind::Hals);
+        assert_eq!(c.max_iters, 5);
+        assert_eq!(c.tol, Some(1e-4));
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn init_is_deterministic_and_nonnegative() {
+        let a = init_ht(20, 4, 1);
+        let b = init_ht(20, 4, 1);
+        assert_eq!(a, b);
+        assert!(a.all_nonnegative());
+        assert_ne!(init_ht(20, 4, 1), init_ht(20, 4, 2));
+        // W and H seeds must differ to avoid correlated factors.
+        assert_ne!(init_w(20, 4, 1), init_ht(20, 4, 1));
+    }
+
+    #[test]
+    fn task_times_aggregate() {
+        let a = TaskTimes {
+            mm: Duration::from_millis(3),
+            nls: Duration::from_millis(1),
+            gram: Duration::from_millis(2),
+        };
+        let b = TaskTimes {
+            mm: Duration::from_millis(1),
+            nls: Duration::from_millis(5),
+            gram: Duration::from_millis(2),
+        };
+        let m = a.max(&b);
+        assert_eq!(m.mm, Duration::from_millis(3));
+        assert_eq!(m.nls, Duration::from_millis(5));
+        let mut s = a;
+        s.merge(&b);
+        assert_eq!(s.total(), Duration::from_millis(14));
+    }
+}

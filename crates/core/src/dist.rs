@@ -1,0 +1,127 @@
+//! Block distributions of an index range over processors.
+
+/// One processor's slice of a distributed dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Part {
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl Part {
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// A block distribution of `total` indices over `parts` processors:
+/// the first `total mod parts` processors get `⌈total/parts⌉` indices,
+/// the rest `⌊total/parts⌋`. (The paper sizes its datasets so blocks
+/// divide evenly; this handles the general case so arbitrary problem
+/// sizes work.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dist1D {
+    total: usize,
+    parts: usize,
+}
+
+impl Dist1D {
+    pub fn new(total: usize, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one part");
+        Dist1D { total, parts }
+    }
+
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The slice owned by processor `i`.
+    pub fn part(&self, i: usize) -> Part {
+        assert!(i < self.parts, "part index out of range");
+        let base = self.total / self.parts;
+        let rem = self.total % self.parts;
+        let len = base + usize::from(i < rem);
+        let offset = i * base + i.min(rem);
+        Part { offset, len }
+    }
+
+    /// Lengths of every part (e.g. the `counts` argument of a
+    /// reduce-scatter over this dimension).
+    pub fn lens(&self) -> Vec<usize> {
+        (0..self.parts).map(|i| self.part(i).len).collect()
+    }
+
+    /// Lengths scaled by a row width (counts in words for a matrix whose
+    /// rows are distributed by this distribution).
+    pub fn lens_scaled(&self, width: usize) -> Vec<usize> {
+        (0..self.parts).map(|i| self.part(i).len * width).collect()
+    }
+
+    /// Which part owns global index `g`.
+    pub fn owner(&self, g: usize) -> usize {
+        assert!(g < self.total);
+        let base = self.total / self.parts;
+        let rem = self.total % self.parts;
+        let boundary = rem * (base + 1);
+        if g < boundary {
+            g / (base + 1)
+        } else {
+            rem + (g - boundary) / base.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_tile_exactly() {
+        for total in [0usize, 1, 7, 12, 100, 101] {
+            for parts in [1usize, 2, 3, 5, 8, 13] {
+                let d = Dist1D::new(total, parts);
+                let mut covered = 0;
+                for i in 0..parts {
+                    let p = d.part(i);
+                    assert_eq!(p.offset, covered, "parts must be contiguous");
+                    covered += p.len;
+                }
+                assert_eq!(covered, total, "parts must cover the range");
+            }
+        }
+    }
+
+    #[test]
+    fn parts_are_balanced() {
+        let d = Dist1D::new(103, 10);
+        let lens = d.lens();
+        let max = lens.iter().max().unwrap();
+        let min = lens.iter().min().unwrap();
+        assert!(max - min <= 1, "block distribution must be balanced");
+    }
+
+    #[test]
+    fn owner_is_consistent_with_part() {
+        for total in [5usize, 17, 64] {
+            for parts in [1usize, 3, 4, 7] {
+                let d = Dist1D::new(total, parts);
+                for g in 0..total {
+                    let o = d.owner(g);
+                    let p = d.part(o);
+                    assert!(g >= p.offset && g < p.end(), "owner({g}) = {o} but part {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lens_scaled_multiplies() {
+        let d = Dist1D::new(10, 3);
+        assert_eq!(d.lens_scaled(4), vec![16, 12, 12]);
+    }
+}

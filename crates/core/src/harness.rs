@@ -1,0 +1,206 @@
+//! Convenience front-end: run any driver on a shared input matrix.
+//!
+//! In a production MPI deployment each rank reads its own block from
+//! storage; in this reproduction the harness holds the global matrix,
+//! launches a virtual-MPI universe, hands every rank its block(s), and
+//! reassembles the distributed factors afterwards. Only the block
+//! extraction is "free" relative to a real deployment — all iteration
+//! communication goes through the virtual MPI and is fully counted.
+
+use crate::config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput};
+use crate::dist::Dist1D;
+use crate::grid::Grid;
+use crate::hpc::hpc_nmf_rank;
+use crate::input::Input;
+use crate::naive::{naive_nmf_rank, RankNmfOutput};
+
+use nmf_matrix::Mat;
+use nmf_vmpi::{universe, CommStats, RankResult};
+
+/// Which parallel algorithm (and grid) to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Single-process ANLS (Algorithm 1); ignores `p`.
+    Sequential,
+    /// Naive-Parallel-NMF (Algorithm 2) on `p` ranks.
+    Naive,
+    /// HPC-NMF (Algorithm 3) with a 1D grid (`pr = p, pc = 1`).
+    Hpc1D,
+    /// HPC-NMF with the communication-optimal 2D grid for the input
+    /// shape ([`Grid::optimal`]).
+    Hpc2D,
+    /// HPC-NMF with an explicit grid.
+    HpcGrid(Grid),
+}
+
+impl Algo {
+    /// Grid used for `p` ranks on an `m×n` input.
+    pub fn grid(&self, m: usize, n: usize, p: usize) -> Grid {
+        match self {
+            Algo::Sequential => Grid::new(1, 1),
+            Algo::Naive | Algo::Hpc1D => Grid::one_dimensional(p),
+            Algo::Hpc2D => Grid::optimal(m, n, p),
+            Algo::HpcGrid(g) => {
+                assert_eq!(g.size(), p, "explicit grid must have p ranks");
+                *g
+            }
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Sequential => "Sequential",
+            Algo::Naive => "Naive",
+            Algo::Hpc1D => "HPC-NMF-1D",
+            Algo::Hpc2D => "HPC-NMF-2D",
+            Algo::HpcGrid(_) => "HPC-NMF-grid",
+        }
+    }
+}
+
+/// Runs `algo` on `p` ranks over `input` and returns assembled factors
+/// plus per-rank instrumentation.
+pub fn factorize(input: &Input, p: usize, algo: Algo, config: &NmfConfig) -> NmfOutput {
+    let (m, n) = input.shape();
+    let w0 = init_w(m, config.k, config.seed);
+    let ht0 = init_ht(n, config.k, config.seed);
+    factorize_from(input, p, algo, config, w0, ht0)
+}
+
+/// Like [`factorize`], but starting from explicit factors (warm start):
+/// `w0` is `m×k` and `ht0` is `n×k` (`H` transposed, row `j` = column
+/// `j` of `H`). Use this to refine a factorization after the data
+/// changes incrementally — e.g. appending frames to the video matrix —
+/// instead of re-solving from a random initialization.
+pub fn factorize_from(
+    input: &Input,
+    p: usize,
+    algo: Algo,
+    config: &NmfConfig,
+    w0: Mat,
+    ht0: Mat,
+) -> NmfOutput {
+    let (m, n) = input.shape();
+    assert_eq!(w0.shape(), (m, config.k), "w0 shape mismatch");
+    assert_eq!(ht0.shape(), (n, config.k), "ht0 shape mismatch");
+    match algo {
+        Algo::Sequential => crate::seq::nmf_seq_from(input, config, w0, ht0),
+        Algo::Naive => factorize_naive(input, p, config, &w0, &ht0),
+        _ => factorize_hpc(input, algo.grid(m, n, p), config, &w0, &ht0),
+    }
+}
+
+fn factorize_naive(input: &Input, p: usize, config: &NmfConfig, w0: &Mat, ht0: &Mat) -> NmfOutput {
+    let (m, n) = input.shape();
+    let k = config.k;
+    let dist_m = Dist1D::new(m, p);
+    let dist_n = Dist1D::new(n, p);
+
+    let results = universe::run(p, |comm| {
+        let r = comm.rank();
+        let rows = dist_m.part(r);
+        let cols = dist_n.part(r);
+        // Algorithm 2 stores A twice: row block and column block.
+        let row_block = input.block(rows.offset, 0, rows.len, n);
+        let col_block = input.block(0, cols.offset, m, cols.len);
+        let w0_local = w0.rows_block(rows.offset, rows.len);
+        let ht0_local = ht0.rows_block(cols.offset, cols.len);
+        naive_nmf_rank(comm, (m, n), &row_block, &col_block, w0_local, ht0_local, config)
+    });
+
+    let w_offsets: Vec<usize> = (0..p).map(|r| dist_m.part(r).offset).collect();
+    let h_offsets: Vec<usize> = (0..p).map(|r| dist_n.part(r).offset).collect();
+    assemble(input, results, &w_offsets, &h_offsets, k)
+}
+
+fn factorize_hpc(input: &Input, grid: Grid, config: &NmfConfig, w0: &Mat, ht0: &Mat) -> NmfOutput {
+    let (m, n) = input.shape();
+    let k = config.k;
+    let p = grid.size();
+    let dist_m = Dist1D::new(m, grid.pr);
+    let dist_n = Dist1D::new(n, grid.pc);
+
+    let results = universe::run(p, |comm| {
+        let (i, j) = grid.coords(comm.rank());
+        let rows = dist_m.part(i);
+        let cols = dist_n.part(j);
+        let local = input.block(rows.offset, cols.offset, rows.len, cols.len);
+        let sub_rows = Dist1D::new(rows.len, grid.pc);
+        let sub_cols = Dist1D::new(cols.len, grid.pr);
+        let wpart = sub_rows.part(j);
+        let hpart = sub_cols.part(i);
+        let w0_local = w0.rows_block(rows.offset + wpart.offset, wpart.len);
+        let ht0_local = ht0.rows_block(cols.offset + hpart.offset, hpart.len);
+        hpc_nmf_rank(comm, grid, (m, n), &local, w0_local, ht0_local, config)
+    });
+
+    let mut w_offsets = Vec::with_capacity(p);
+    let mut h_offsets = Vec::with_capacity(p);
+    for r in 0..p {
+        let (i, j) = grid.coords(r);
+        let rows = dist_m.part(i);
+        let cols = dist_n.part(j);
+        w_offsets.push(rows.offset + Dist1D::new(rows.len, grid.pc).part(j).offset);
+        h_offsets.push(cols.offset + Dist1D::new(cols.len, grid.pr).part(i).offset);
+    }
+    assemble(input, results, &w_offsets, &h_offsets, k)
+}
+
+/// Places each rank's factor slices at their global offsets and
+/// aggregates instrumentation (critical-path max across ranks).
+fn assemble(
+    input: &Input,
+    results: Vec<RankResult<RankNmfOutput>>,
+    w_offsets: &[usize],
+    h_offsets: &[usize],
+    k: usize,
+) -> NmfOutput {
+    let (m, n) = input.shape();
+    let mut w = Mat::zeros(m, k);
+    let mut ht = Mat::zeros(n, k);
+    let iterations = results.iter().map(|r| r.result.iters.len()).max().unwrap_or(0);
+    let mut iters: Vec<IterRecord> = Vec::with_capacity(iterations);
+    let mut rank_comm = Vec::with_capacity(results.len());
+    let objective = results[0].result.objective;
+
+    for r in &results {
+        let out = &r.result;
+        w.set_block(w_offsets[r.rank], 0, &out.w_local);
+        ht.set_block(h_offsets[r.rank], 0, &out.ht_local);
+        rank_comm.push(r.stats.clone());
+        for (idx, rec) in out.iters.iter().enumerate() {
+            if idx == iters.len() {
+                iters.push(rec.clone());
+            } else {
+                let agg = &mut iters[idx];
+                agg.compute = agg.compute.max(&rec.compute);
+                agg.comm.max_merge(&rec.comm);
+                debug_assert!(
+                    (agg.objective - rec.objective).abs()
+                        <= 1e-9 * agg.objective.abs().max(1.0),
+                    "objective must agree across ranks"
+                );
+            }
+        }
+    }
+
+    let norm_a_sq = input.fro_norm_sq();
+    NmfOutput {
+        w,
+        h: ht.transpose(),
+        objective,
+        rel_error: objective.max(0.0).sqrt() / norm_a_sq.sqrt().max(f64::MIN_POSITIVE),
+        iters,
+        iterations,
+        rank_comm,
+    }
+}
+
+/// Sum of all ranks' communication counters.
+pub fn total_comm(out: &NmfOutput) -> CommStats {
+    let mut total = CommStats::new();
+    for s in &out.rank_comm {
+        total.merge(s);
+    }
+    total
+}

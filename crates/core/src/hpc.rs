@@ -1,0 +1,177 @@
+//! HPC-NMF (Algorithm 3): the paper's communication-optimal algorithm.
+//!
+//! The data matrix is distributed once, as `pr × pc` blocks `Aᵢⱼ`; the
+//! factors live in 1D distributions (`W` row-wise, `H` column-wise) with
+//! each grid row/column collectively owning one block. Per iteration and
+//! per factor, the algorithm performs exactly one all-reduce (`k×k` Gram),
+//! one all-gather (assembling the factor block along the grid dimension
+//! that shares it), and one reduce-scatter (summing the local matrix
+//! products and slicing the result back to the 1D distribution) — giving
+//! the `O(√(mnk²/p))`-word, `O(log p)`-message costs of Table 2.
+//!
+//! Line numbers in comments refer to Algorithm 3 in the paper.
+
+use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
+use crate::dist::Dist1D;
+use crate::grid::Grid;
+use crate::input::LocalMat;
+use crate::naive::RankNmfOutput;
+use nmf_matrix::gram::gram;
+use nmf_matrix::Mat;
+use nmf_vmpi::Comm;
+use std::time::Instant;
+
+/// Runs Algorithm 3 on one rank of a `grid.pr × grid.pc` processor grid.
+///
+/// * `local` — this rank's block `Aᵢⱼ` (`≈ m/pr × n/pc`);
+/// * `w0`    — this rank's `(Wᵢ)ⱼ` slice of the global `W` init
+///   (`≈ m/p × k`);
+/// * `ht0`   — this rank's `(Hⱼ)ᵢ` slice of the global `H` init, stored
+///   transposed (`≈ n/p × k`).
+pub fn hpc_nmf_rank(
+    comm: &Comm,
+    grid: Grid,
+    dims: (usize, usize),
+    local: &LocalMat,
+    w0: Mat,
+    ht0: Mat,
+    config: &NmfConfig,
+) -> RankNmfOutput {
+    let (m, n) = dims;
+    let k = config.k;
+    assert_eq!(comm.size(), grid.size(), "communicator size must match grid");
+    let (gi, gj) = grid.coords(comm.rank());
+
+    // Sub-communicators: `row_comm` spans this grid row (pc ranks,
+    // ordered by column index), `col_comm` this grid column (pr ranks,
+    // ordered by row index).
+    let row_comm = comm.split(gi, gj);
+    let col_comm = comm.split(grid.pr + gj, gi);
+    debug_assert_eq!(row_comm.size(), grid.pc);
+    debug_assert_eq!(col_comm.size(), grid.pr);
+
+    // Distributions: A's rows over grid rows, A's columns over grid
+    // columns; within a block, W's rows over the grid row's members and
+    // H's columns over the grid column's members.
+    let dist_m = Dist1D::new(m, grid.pr);
+    let dist_n = Dist1D::new(n, grid.pc);
+    let my_rows = dist_m.part(gi);
+    let my_cols = dist_n.part(gj);
+    assert_eq!(local.nrows(), my_rows.len, "local block height mismatch");
+    assert_eq!(local.ncols(), my_cols.len, "local block width mismatch");
+    let sub_rows = Dist1D::new(my_rows.len, grid.pc); // (Wᵢ)ⱼ heights
+    let sub_cols = Dist1D::new(my_cols.len, grid.pr); // (Hⱼ)ᵢ heights
+    assert_eq!(w0.shape(), (sub_rows.part(gj).len, k));
+    assert_eq!(ht0.shape(), (sub_cols.part(gi).len, k));
+
+    let solver = config.solver.build();
+    let mut w_local = w0; // (Wᵢ)ⱼ
+    let mut ht_local = ht0; // (Hⱼ)ᵢ, stored n/p × k
+
+    let w_counts = sub_rows.lens_scaled(k); // reduce-scatter counts, grid row
+    let h_counts = sub_cols.lens_scaled(k); // reduce-scatter counts, grid col
+
+    let norm_a_sq = comm.all_reduce_scalar(local.fro_norm_sq());
+
+    // Line 3 for the first iteration: Uᵢⱼ = (Hⱼ)ᵢ(Hⱼ)ᵢᵀ. Later
+    // iterations reuse the Gram computed for the objective.
+    let mut u_local = gram(&ht_local);
+
+    let mut iters = Vec::with_capacity(config.max_iters);
+    let mut prev_obj = f64::INFINITY;
+    let mut first_obj = None;
+    let mut objective = norm_a_sq;
+    let mut comm_base = comm.stats();
+
+    for _it in 0..config.max_iters {
+        let mut tt = TaskTimes::default();
+
+        /* ---- Compute W given H (lines 3–8) ---- */
+        // Line 4: HHᵀ = Σᵢⱼ Uᵢⱼ, all-reduce across all ranks.
+        let hht = Mat::from_vec(k, k, comm.all_reduce(u_local.as_slice()));
+
+        // Line 5: assemble Hⱼ (as Hⱼᵀ, n/pc × k) via all-gather across
+        // the processor column.
+        let ht_j =
+            Mat::from_vec(my_cols.len, k, col_comm.all_gatherv(ht_local.as_slice(), &h_counts));
+
+        // Line 6: Vᵢⱼ = Aᵢⱼ·Hⱼᵀ (m/pr × k).
+        let t0 = Instant::now();
+        let v = local.mm_a_ht(&ht_j);
+        tt.mm += t0.elapsed();
+
+        // Line 7: (AHᵀ)ᵢ via reduce-scatter across the processor row;
+        // this rank keeps ((AHᵀ)ᵢ)ⱼ (m/p × k).
+        let aht_local = Mat::from_vec(
+            sub_rows.part(gj).len,
+            k,
+            row_comm.reduce_scatter(v.as_slice(), &w_counts),
+        );
+
+        // Line 8: (Wᵢ)ⱼ ← argmin ‖W̃(HHᵀ) − ((AHᵀ)ᵢ)ⱼ‖, local NLS.
+        let t0 = Instant::now();
+        let mut hht_solve = hht;
+        apply_ridge(&mut hht_solve, config.l2_w);
+        solver.update(&hht_solve, &aht_local, &mut w_local);
+        tt.nls += t0.elapsed();
+
+        /* ---- Compute H given W (lines 9–14) ---- */
+        // Line 9: Xᵢⱼ = (Wᵢ)ⱼᵀ(Wᵢ)ⱼ.
+        let t0 = Instant::now();
+        let x_local = gram(&w_local);
+        tt.gram += t0.elapsed();
+
+        // Line 10: WᵀW all-reduce across all ranks.
+        let wtw = Mat::from_vec(k, k, comm.all_reduce(x_local.as_slice()));
+
+        // Line 11: assemble Wᵢ (m/pr × k) via all-gather across the
+        // processor row.
+        let w_i =
+            Mat::from_vec(my_rows.len, k, row_comm.all_gatherv(w_local.as_slice(), &w_counts));
+
+        // Line 12: Yᵢⱼ = Wᵢᵀ·Aᵢⱼ, stored transposed (n/pc × k).
+        let t0 = Instant::now();
+        let y = local.mm_at_w(&w_i);
+        tt.mm += t0.elapsed();
+
+        // Line 13: (WᵀA)ⱼ via reduce-scatter across the processor
+        // column; this rank keeps ((WᵀA)ⱼ)ᵢ (n/p × k, transposed).
+        let wta_local = Mat::from_vec(
+            sub_cols.part(gi).len,
+            k,
+            col_comm.reduce_scatter(y.as_slice(), &h_counts),
+        );
+
+        // Line 14: (Hⱼ)ᵢ ← argmin ‖(WᵀW)H̃ − ((WᵀA)ⱼ)ᵢ‖, local NLS.
+        let t0 = Instant::now();
+        let mut wtw_solve = wtw.clone();
+        apply_ridge(&mut wtw_solve, config.l2_h);
+        solver.update(&wtw_solve, &wta_local, &mut ht_local);
+        tt.nls += t0.elapsed();
+
+        /* ---- Objective via the Gram identity ----
+         * ‖A−WH‖² = ‖A‖² − 2·⟨WᵀA, H⟩ + ⟨WᵀW, HHᵀ⟩, with both inner
+         * products decomposing over the 1D distribution of H. The local
+         * H Gram doubles as next iteration's Uᵢⱼ (line 3), so Gram is
+         * still computed once per factor per iteration. */
+        let t0 = Instant::now();
+        u_local = gram(&ht_local);
+        tt.gram += t0.elapsed();
+        let s = comm.all_reduce(&[wta_local.fro_dot(&ht_local), wtw.fro_dot(&u_local)]);
+        objective = norm_a_sq - 2.0 * s[0] + s[1];
+
+        let now = comm.stats();
+        iters.push(IterRecord { objective, compute: tt, comm: now.delta_since(&comm_base) });
+        comm_base = now;
+
+        let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
+        if let Some(tol) = config.tol {
+            if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
+                break;
+            }
+        }
+        prev_obj = objective;
+    }
+
+    RankNmfOutput { w_local, ht_local, objective, iters }
+}

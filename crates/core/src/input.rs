@@ -1,0 +1,184 @@
+//! Input matrices: dense or sparse, global or per-rank local blocks.
+//!
+//! The parallel drivers are generic over density through [`LocalMat`]:
+//! the two matrix-multiply kernels (`A·Hᵀ` and `Aᵀ·W`) are the only
+//! operations that touch the data matrix, exactly as in the paper
+//! ("the data matrix itself is never communicated").
+
+use nmf_matrix::{matmul, matmul_ta, Mat};
+use nmf_sparse::{spmm_at_dense, spmm_dense_t, Csr};
+
+/// A whole input matrix (held by the test/benchmark harness; in a real
+/// MPI deployment each rank would read only its block from disk).
+#[derive(Clone, Debug)]
+pub enum Input {
+    Dense(Mat),
+    Sparse(Csr),
+}
+
+impl Input {
+    pub fn nrows(&self) -> usize {
+        match self {
+            Input::Dense(a) => a.nrows(),
+            Input::Sparse(a) => a.nrows(),
+        }
+    }
+
+    pub fn ncols(&self) -> usize {
+        match self {
+            Input::Dense(a) => a.ncols(),
+            Input::Sparse(a) => a.ncols(),
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows(), self.ncols())
+    }
+
+    /// Stored nonzeros (dense matrices report `m·n`).
+    pub fn nnz(&self) -> usize {
+        match self {
+            Input::Dense(a) => a.len(),
+            Input::Sparse(a) => a.nnz(),
+        }
+    }
+
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Input::Sparse(_))
+    }
+
+    pub fn fro_norm_sq(&self) -> f64 {
+        match self {
+            Input::Dense(a) => a.fro_norm_sq(),
+            Input::Sparse(a) => a.fro_norm_sq(),
+        }
+    }
+
+    /// Extracts the local block rows `r0..r0+nr`, cols `c0..c0+nc`.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> LocalMat {
+        match self {
+            Input::Dense(a) => LocalMat::Dense(a.block(r0, c0, nr, nc)),
+            Input::Sparse(a) => LocalMat::Sparse(a.block(r0, c0, nr, nc)),
+        }
+    }
+
+    /// `A·Hᵀ` with `Hᵀ` supplied as `ht` (`n×k`); output `m×k`.
+    pub fn mm_a_ht(&self, ht: &Mat) -> Mat {
+        match self {
+            Input::Dense(a) => matmul(a, ht),
+            Input::Sparse(a) => spmm_dense_t(a, ht),
+        }
+    }
+
+    /// `Aᵀ·W` (`n×k`) for `w` of shape `m×k`.
+    pub fn mm_at_w(&self, w: &Mat) -> Mat {
+        match self {
+            Input::Dense(a) => matmul_ta(a, w),
+            Input::Sparse(a) => spmm_at_dense(a, w),
+        }
+    }
+}
+
+/// One rank's block of the input matrix.
+#[derive(Clone, Debug)]
+pub enum LocalMat {
+    Dense(Mat),
+    Sparse(Csr),
+}
+
+impl LocalMat {
+    pub fn nrows(&self) -> usize {
+        match self {
+            LocalMat::Dense(a) => a.nrows(),
+            LocalMat::Sparse(a) => a.nrows(),
+        }
+    }
+
+    pub fn ncols(&self) -> usize {
+        match self {
+            LocalMat::Dense(a) => a.ncols(),
+            LocalMat::Sparse(a) => a.ncols(),
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        match self {
+            LocalMat::Dense(a) => a.len(),
+            LocalMat::Sparse(a) => a.nnz(),
+        }
+    }
+
+    pub fn fro_norm_sq(&self) -> f64 {
+        match self {
+            LocalMat::Dense(a) => a.fro_norm_sq(),
+            LocalMat::Sparse(a) => a.fro_norm_sq(),
+        }
+    }
+
+    /// Local `A_loc·Hᵀ` (the `MM` task of the `W` update).
+    pub fn mm_a_ht(&self, ht: &Mat) -> Mat {
+        match self {
+            LocalMat::Dense(a) => matmul(a, ht),
+            LocalMat::Sparse(a) => spmm_dense_t(a, ht),
+        }
+    }
+
+    /// Local `A_locᵀ·W` (the `MM` task of the `H` update).
+    pub fn mm_at_w(&self, w: &Mat) -> Mat {
+        match self {
+            LocalMat::Dense(a) => matmul_ta(a, w),
+            LocalMat::Sparse(a) => spmm_at_dense(a, w),
+        }
+    }
+
+    /// Flop count of one `MM` call on this block with rank `k`
+    /// (`2·nnz·k`, which for dense equals `2·(m/pr)·(n/pc)·k`).
+    pub fn mm_flops(&self, k: usize) -> f64 {
+        2.0 * self.nnz() as f64 * k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::rng::Fill;
+    use nmf_sparse::gen::banded;
+
+    #[test]
+    fn dense_and_sparse_kernels_agree() {
+        let s = banded(12, 2);
+        let d = s.to_dense();
+        let dense = Input::Dense(d.clone());
+        let sparse = Input::Sparse(s);
+        let ht = Mat::uniform(12, 4, 1);
+        assert!(dense.mm_a_ht(&ht).max_abs_diff(&sparse.mm_a_ht(&ht)) < 1e-12);
+        let w = Mat::uniform(12, 4, 2);
+        assert!(dense.mm_at_w(&w).max_abs_diff(&sparse.mm_at_w(&w)) < 1e-12);
+        assert_eq!(dense.fro_norm_sq(), sparse.fro_norm_sq());
+    }
+
+    #[test]
+    fn blocks_agree_between_representations() {
+        let s = banded(10, 3);
+        let dense = Input::Dense(s.to_dense());
+        let sparse = Input::Sparse(s);
+        let bd = dense.block(2, 1, 5, 6);
+        let bs = sparse.block(2, 1, 5, 6);
+        match (bd, bs) {
+            (LocalMat::Dense(d), LocalMat::Sparse(sp)) => {
+                assert!(d.max_abs_diff(&sp.to_dense()) < 1e-15);
+            }
+            _ => panic!("unexpected block variants"),
+        }
+    }
+
+    #[test]
+    fn mm_flops_counts() {
+        let s = banded(10, 1);
+        let nnz = s.nnz();
+        let lm = LocalMat::Sparse(s);
+        assert_eq!(lm.mm_flops(5), (2 * nnz * 5) as f64);
+        let ld = LocalMat::Dense(Mat::zeros(4, 6));
+        assert_eq!(ld.mm_flops(2), (2 * 24 * 2) as f64);
+    }
+}

@@ -1,0 +1,60 @@
+//! # hpc-nmf — high-performance parallel nonnegative matrix factorization
+//!
+//! A from-scratch Rust reproduction of
+//! *"A High-Performance Parallel Algorithm for Nonnegative Matrix
+//! Factorization"* (Kannan, Ballard, Park — PPoPP 2016,
+//! arXiv:1509.09313): distributed-memory ANLS-based NMF `A ≈ W·H` with
+//! communication-optimal 2D-grid parallelism, running on a thread-backed
+//! virtual MPI ([`nmf_vmpi`]) with exact communication accounting.
+//!
+//! ## The three drivers
+//!
+//! | Driver | Paper | Communication per iteration |
+//! |---|---|---|
+//! | [`seq::nmf_seq`] | Algorithm 1 | — (single process) |
+//! | [`naive::naive_nmf_rank`] | Algorithm 2 | `O((m+n)k)` words |
+//! | [`hpc::hpc_nmf_rank`] | Algorithm 3 | `O(min{√(mnk²/p), nk})` words |
+//!
+//! All three support dense and sparse inputs ([`input::Input`]) and any
+//! of the three local NLS solvers (BPP, MU, HALS — [`nmf_nls`]), and all
+//! start from the same seeded initialization so they perform the same
+//! computations, the paper's §6.1.3 protocol.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpc_nmf::prelude::*;
+//! use nmf_matrix::rng::Fill;
+//! use nmf_matrix::Mat;
+//!
+//! // A small random nonnegative matrix.
+//! let a = Input::Dense(Mat::uniform(60, 40, 7));
+//! // Factorize with rank 5 on 4 virtual ranks, 2D grid, BPP solver.
+//! let out = factorize(&a, 4, Algo::Hpc2D, &NmfConfig::new(5).with_max_iters(10));
+//! assert_eq!(out.w.shape(), (60, 5));
+//! assert_eq!(out.h.shape(), (5, 40));
+//! assert!(out.rel_error < 1.0);
+//! ```
+
+pub mod config;
+pub mod dist;
+pub mod grid;
+pub mod harness;
+pub mod hpc;
+pub mod input;
+pub mod naive;
+pub mod seq;
+
+pub use config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput, TaskTimes};
+pub use grid::Grid;
+pub use harness::{factorize, factorize_from, total_comm, Algo};
+pub use input::{Input, LocalMat};
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use crate::config::{NmfConfig, NmfOutput};
+    pub use crate::grid::Grid;
+    pub use crate::harness::{factorize, Algo};
+    pub use crate::input::Input;
+    pub use nmf_nls::SolverKind;
+}

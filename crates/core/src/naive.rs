@@ -1,0 +1,144 @@
+//! Naive-Parallel-NMF (Algorithm 2): the Fairbanks et al. baseline.
+//!
+//! The data matrix is stored **twice** — once in row blocks `Aᵢ`
+//! (`m/p × n`) and once in column blocks `Aʲ` (`m × n/p`) — and each
+//! alternating solve is preceded by an all-gather of the *entire* other
+//! factor matrix. Each rank then computes the `k×k` Gram matrix
+//! redundantly. Per iteration this costs `O((m+n)k)` communicated words
+//! (versus HPC-NMF's `O(√(mnk²/p))`) and `(m+n)k²` redundant Gram flops —
+//! the three drawbacks the paper lists at the end of §4.3.
+
+use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
+use crate::dist::Dist1D;
+use crate::input::LocalMat;
+use nmf_matrix::gram::gram;
+use nmf_matrix::Mat;
+use nmf_vmpi::Comm;
+use std::time::Instant;
+
+/// Per-rank output of a parallel NMF driver.
+#[derive(Debug)]
+pub struct RankNmfOutput {
+    /// This rank's rows of `W` (`m/p × k` for Naive).
+    pub w_local: Mat,
+    /// This rank's columns of `H`, stored transposed (`n/p × k`).
+    pub ht_local: Mat,
+    /// Final objective `‖A − WH‖²_F` (identical on every rank).
+    pub objective: f64,
+    /// Per-iteration records for this rank.
+    pub iters: Vec<IterRecord>,
+}
+
+/// Runs Algorithm 2 on one rank.
+///
+/// * `row_block` — this rank's `Aᵢ` (`m/p × n`);
+/// * `col_block` — this rank's `Aʲ` (`m × n/p`);
+/// * `w0 / ht0`  — this rank's slices of the deterministic global
+///   initialization ([`crate::config::init_w`] / [`init_ht`]);
+///
+/// [`init_ht`]: crate::config::init_ht
+pub fn naive_nmf_rank(
+    comm: &Comm,
+    dims: (usize, usize),
+    row_block: &LocalMat,
+    col_block: &LocalMat,
+    w0: Mat,
+    ht0: Mat,
+    config: &NmfConfig,
+) -> RankNmfOutput {
+    let (m, n) = dims;
+    let p = comm.size();
+    let k = config.k;
+    let dist_m = Dist1D::new(m, p);
+    let dist_n = Dist1D::new(n, p);
+    let me = comm.rank();
+    assert_eq!(row_block.nrows(), dist_m.part(me).len, "row block height mismatch");
+    assert_eq!(row_block.ncols(), n);
+    assert_eq!(col_block.nrows(), m);
+    assert_eq!(col_block.ncols(), dist_n.part(me).len, "column block width mismatch");
+    assert_eq!(w0.shape(), (dist_m.part(me).len, k));
+    assert_eq!(ht0.shape(), (dist_n.part(me).len, k));
+
+    let solver = config.solver.build();
+    let mut w_local = w0;
+    let mut ht_local = ht0;
+    // ‖A‖² from the column blocks (each entry counted exactly once).
+    let norm_a_sq = comm.all_reduce_scalar(col_block.fro_norm_sq());
+
+    let w_counts = dist_m.lens_scaled(k);
+    let h_counts = dist_n.lens_scaled(k);
+
+    let mut iters = Vec::with_capacity(config.max_iters);
+    let mut prev_obj = f64::INFINITY;
+    let mut first_obj = None;
+    let mut objective = norm_a_sq;
+    let mut comm_base = comm.stats();
+
+    for _it in 0..config.max_iters {
+        let mut tt = TaskTimes::default();
+
+        /* --- Compute W given H (lines 3–4) --- */
+        // Line 3: collect the whole of H on each processor.
+        let ht_full_flat = comm.all_gatherv(ht_local.as_slice(), &h_counts);
+        let ht_full = Mat::from_vec(n, k, ht_full_flat);
+
+        // Redundant Gram: every rank computes HHᵀ itself.
+        let t0 = Instant::now();
+        let hht = gram(&ht_full);
+        tt.gram += t0.elapsed();
+
+        // Line 4: Wᵢ ← argmin ‖Aᵢ − W̃H‖ via the normal equations.
+        let t0 = Instant::now();
+        let aht = row_block.mm_a_ht(&ht_full); // (m/p)×k
+        tt.mm += t0.elapsed();
+        let t0 = Instant::now();
+        let mut hht_solve = hht;
+        apply_ridge(&mut hht_solve, config.l2_w);
+        solver.update(&hht_solve, &aht, &mut w_local);
+        tt.nls += t0.elapsed();
+
+        /* --- Compute H given W (lines 5–6) --- */
+        // Line 5: collect the whole of W on each processor.
+        let w_full_flat = comm.all_gatherv(w_local.as_slice(), &w_counts);
+        let w_full = Mat::from_vec(m, k, w_full_flat);
+
+        let t0 = Instant::now();
+        let wtw = gram(&w_full);
+        tt.gram += t0.elapsed();
+
+        // Line 6: Hⁱ ← argmin ‖Aⁱ − WH̃‖.
+        let t0 = Instant::now();
+        let atw = col_block.mm_at_w(&w_full); // (n/p)×k
+        tt.mm += t0.elapsed();
+        let t0 = Instant::now();
+        let mut wtw_solve = wtw.clone();
+        apply_ridge(&mut wtw_solve, config.l2_h);
+        solver.update(&wtw_solve, &atw, &mut ht_local);
+        tt.nls += t0.elapsed();
+
+        /* --- Objective via the Gram identity --- */
+        let t0 = Instant::now();
+        let hht_local = gram(&ht_local);
+        tt.gram += t0.elapsed();
+        let s = comm.all_reduce(&[atw.fro_dot(&ht_local), wtw.fro_dot(&hht_local)]);
+        objective = norm_a_sq - 2.0 * s[0] + s[1];
+
+        let now = comm.stats();
+        iters.push(IterRecord {
+            objective,
+            compute: tt,
+            comm: now.delta_since(&comm_base),
+        });
+        comm_base = now;
+
+        let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
+        if let Some(tol) = config.tol {
+            if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
+                break;
+            }
+        }
+        prev_obj = objective;
+    }
+
+    RankNmfOutput { w_local, ht_local, objective, iters }
+}

@@ -1,0 +1,211 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! The normal-equation systems inside every NLS solver are `k×k` symmetric
+//! positive (semi-)definite with `k ≤ ~100`, so an unblocked Cholesky is
+//! plenty. A small diagonal shift fallback handles the semidefinite edge
+//! case that arises when a factor matrix temporarily loses column rank
+//! (common in early NMF iterations).
+
+use crate::mat::Mat;
+
+/// Failure of a Cholesky factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholError {
+    /// The matrix is not positive definite (a pivot was `<= 0` or NaN),
+    /// reported with the offending pivot index.
+    NotPositiveDefinite(usize),
+    /// The input is not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for CholError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholError::NotPositiveDefinite(i) => {
+                write!(f, "matrix is not positive definite (pivot {i})")
+            }
+            CholError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for CholError {}
+
+/// Computes the lower-triangular `L` with `A = L·Lᵀ`.
+///
+/// Only the lower triangle of `A` is read.
+// `!(d > 0.0)` is deliberate: it also catches NaN pivots.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn cholesky(a: &Mat) -> Result<Mat, CholError> {
+    if a.nrows() != a.ncols() {
+        return Err(CholError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut l = Mat::zeros(n, n);
+    for j in 0..n {
+        // d = A[j,j] - sum_{k<j} L[j,k]^2
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if !(d > 0.0) {
+            return Err(CholError::NotPositiveDefinite(j));
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·Lᵀ·X = B` for `X` given the Cholesky factor `L`. `B` is
+/// `n×r` (multi-right-hand-side).
+pub fn cholesky_solve(l: &Mat, b: &Mat) -> Mat {
+    assert_eq!(l.nrows(), l.ncols());
+    assert_eq!(l.nrows(), b.nrows(), "rhs row count mismatch");
+    let n = l.nrows();
+    let r = b.ncols();
+    let mut x = b.clone();
+    // Forward substitution: L·Y = B.
+    for i in 0..n {
+        for k in 0..i {
+            let lik = l[(i, k)];
+            if lik != 0.0 {
+                // X[i,:] -= lik * X[k,:]
+                let (xi, xk) = x.two_rows_mut(i, k);
+                for c in 0..r {
+                    xi[c] -= lik * xk[c];
+                }
+            }
+        }
+        let d = l[(i, i)];
+        for v in x.row_mut(i) {
+            *v /= d;
+        }
+    }
+    // Backward substitution: Lᵀ·X = Y.
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            let lki = l[(k, i)];
+            if lki != 0.0 {
+                let (xi, xk) = x.two_rows_mut(i, k);
+                for c in 0..r {
+                    xi[c] -= lki * xk[c];
+                }
+            }
+        }
+        let d = l[(i, i)];
+        for v in x.row_mut(i) {
+            *v /= d;
+        }
+    }
+    x
+}
+
+/// Solves the SPD system `A·X = B`.
+///
+/// If `A` is only semidefinite (Cholesky breakdown), retries with
+/// progressively larger Tikhonov shifts `A + eps·tr(A)/n·I`; this mirrors
+/// the regularization LAPACK-based NMF codes apply when a factor loses
+/// rank mid-iteration.
+pub fn solve_spd(a: &Mat, b: &Mat) -> Result<Mat, CholError> {
+    match cholesky(a) {
+        Ok(l) => Ok(cholesky_solve(&l, b)),
+        Err(CholError::NotSquare) => Err(CholError::NotSquare),
+        Err(_) => {
+            let n = a.nrows();
+            let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let base = if trace > 0.0 { trace / n as f64 } else { 1.0 };
+            let mut shift = base * 1e-12;
+            for _ in 0..8 {
+                let mut shifted = a.clone();
+                for i in 0..n {
+                    shifted[(i, i)] += shift;
+                }
+                if let Ok(l) = cholesky(&shifted) {
+                    return Ok(cholesky_solve(&l, b));
+                }
+                shift *= 100.0;
+            }
+            Err(CholError::NotPositiveDefinite(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tb};
+    use crate::gram::gram;
+    use crate::rng::Fill;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // XᵀX + I is strictly positive definite.
+        let x = Mat::gaussian(2 * n, n, seed);
+        let mut g = gram(&x);
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(8, 21);
+        let l = cholesky(&a).unwrap();
+        let llt = matmul_tb(&l, &l);
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+        // L is lower triangular.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(10, 22);
+        let x_true = Mat::gaussian(10, 4, 23);
+        let b = matmul(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Mat::eye(3);
+        a[(2, 2)] = -1.0;
+        assert_eq!(cholesky(&a), Err(CholError::NotPositiveDefinite(2)));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert_eq!(cholesky(&Mat::zeros(2, 3)), Err(CholError::NotSquare));
+    }
+
+    #[test]
+    fn semidefinite_falls_back_to_shift() {
+        // Rank-1 Gram matrix: strictly semidefinite.
+        let x = Mat::filled(5, 3, 1.0);
+        let g = gram(&x);
+        let b = Mat::filled(3, 2, 1.0);
+        let sol = solve_spd(&g, &b).expect("shifted solve should succeed");
+        assert!(sol.all_finite());
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let a = Mat::from_rows(&[&[4.0]]);
+        let b = Mat::from_rows(&[&[8.0, 2.0]]);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((x[(0, 1)] - 0.5).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,245 @@
+//! Blocked matrix-multiply kernels.
+//!
+//! Three transpose combinations cover everything the NMF algorithms need:
+//!
+//! * `C = A·B`   — reconstruction `W·H`, and `W·(HHᵀ)` inside MU;
+//! * `C = Aᵀ·B`  — `WᵀA` (the right-factor update input);
+//! * `C = A·Bᵀ`  — `AHᵀ` (the left-factor update input).
+//!
+//! All kernels are written as `ikj` loops over the row-major layout so the
+//! innermost loop streams contiguous memory from both `B` (or `Bᵀ`'s
+//! logical rows) and `C`; this auto-vectorizes well. `*_into` variants
+//! write into caller-owned storage so per-iteration workspaces can be
+//! reused, as the performance guide recommends.
+//!
+//! [`matmul_par`] provides a rayon row-parallel GEMM for *standalone*
+//! (sequential-baseline) use. The distributed ranks deliberately use the
+//! serial kernels: each virtual-MPI rank is already an OS thread, and
+//! nesting rayon inside them would oversubscribe the machine.
+
+use crate::mat::Mat;
+use rayon::prelude::*;
+
+/// `C = A·B`, allocating the output.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.nrows(), b.ncols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A·B` into caller-owned `c` (overwritten).
+pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
+    assert_eq!(c.shape(), (a.nrows(), b.ncols()), "matmul output shape mismatch");
+    c.as_mut_slice().fill(0.0);
+    let n = b.ncols();
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        // Safe split: take the i-th output row once per i.
+        let crow = c.row_mut(i);
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[kk * n..(kk + 1) * n];
+            axpy(aik, brow, crow);
+        }
+    }
+}
+
+/// `C = Aᵀ·B`, allocating the output. `A` is `m×k`, `B` is `m×n`, `C` is `k×n`.
+pub fn matmul_ta(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.ncols(), b.ncols());
+    matmul_ta_into(a, b, &mut c);
+    c
+}
+
+/// `C = Aᵀ·B` into caller-owned `c` (overwritten).
+pub fn matmul_ta_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.nrows(), b.nrows(), "matmul_ta inner dimension mismatch");
+    assert_eq!(c.shape(), (a.ncols(), b.ncols()), "matmul_ta output shape mismatch");
+    c.as_mut_slice().fill(0.0);
+    let k = a.ncols();
+    let n = b.ncols();
+    // Accumulate rank-1 contributions row-of-A by row-of-B: for each sample
+    // row r, C[j, :] += A[r, j] * B[r, :]. Both inner accesses stream.
+    for r in 0..a.nrows() {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for j in 0..k {
+            let ajr = arow[j];
+            if ajr == 0.0 {
+                continue;
+            }
+            let crow = &mut c.as_mut_slice()[j * n..(j + 1) * n];
+            axpy(ajr, brow, crow);
+        }
+    }
+}
+
+/// `C = A·Bᵀ`, allocating the output. `A` is `m×n`, `B` is `k×n`, `C` is `m×k`.
+pub fn matmul_tb(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.nrows(), b.nrows());
+    matmul_tb_into(a, b, &mut c);
+    c
+}
+
+/// `C = A·Bᵀ` into caller-owned `c` (overwritten).
+///
+/// Each output entry is a dot product of two contiguous rows, which is the
+/// natural kernel for row-major storage.
+pub fn matmul_tb_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.ncols(), b.ncols(), "matmul_tb inner dimension mismatch");
+    assert_eq!(c.shape(), (a.nrows(), b.nrows()), "matmul_tb output shape mismatch");
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cij) in crow.iter_mut().enumerate() {
+            *cij = dot(arow, b.row(j));
+        }
+    }
+}
+
+/// Rayon row-parallel `C = A·B` for standalone use (see module docs).
+pub fn matmul_par(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
+    let n = b.ncols();
+    let rows: Vec<Vec<f64>> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let mut crow = vec![0.0; n];
+            for (kk, &aik) in a.row(i).iter().enumerate() {
+                if aik != 0.0 {
+                    axpy(aik, &b.as_slice()[kk * n..(kk + 1) * n], &mut crow);
+                }
+            }
+            crow
+        })
+        .collect();
+    let mut data = Vec::with_capacity(a.nrows() * n);
+    for r in rows {
+        data.extend_from_slice(&r);
+    }
+    Mat::from_vec(a.nrows(), n, data)
+}
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two equal-length slices, with 4-way unrolling to expose
+/// independent FMA chains.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let chunks = x.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Fill;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut s = 0.0;
+                for kk in 0..a.ncols() {
+                    s += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Mat::uniform(17, 9, 42);
+        let b = Mat::uniform(9, 13, 43);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_ta_matches_explicit_transpose() {
+        let a = Mat::uniform(23, 7, 1);
+        let b = Mat::uniform(23, 11, 2);
+        let c = matmul_ta(&a, &b);
+        let expect = naive_matmul(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let a = Mat::uniform(19, 8, 3);
+        let b = Mat::uniform(5, 8, 4);
+        let c = matmul_tb(&a, &b);
+        let expect = naive_matmul(&a, &b.transpose());
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_par_matches_serial() {
+        let a = Mat::uniform(31, 15, 5);
+        let b = Mat::uniform(15, 9, 6);
+        assert!(matmul_par(&a, &b).max_abs_diff(&matmul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_reuse_storage() {
+        let a = Mat::uniform(6, 4, 7);
+        let b = Mat::uniform(4, 5, 8);
+        let mut c = Mat::filled(6, 5, f64::NAN);
+        matmul_into(&a, &b, &mut c);
+        assert!(c.all_finite());
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::uniform(9, 9, 10);
+        assert!(matmul(&a, &Mat::eye(9)).max_abs_diff(&a) < 1e-15);
+        assert!(matmul(&Mat::eye(9), &a).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn mismatched_dims_panic() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in 0..10 {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+            let expect: f64 = (0..n).map(|i| (i * i * 2) as f64).sum();
+            assert_eq!(dot(&x, &y), expect);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Symmetric rank-k products (`Gram` in the paper's time breakdown).
+//!
+//! Both alternating updates begin with a local Gram computation:
+//! `HHᵀ` from the local columns of `H` (line 3 of Algorithm 3) and `WᵀW`
+//! from the local rows of `W` (line 9). These are `k×k` symmetric products
+//! of tall-skinny inputs; exploiting symmetry halves the flops relative to
+//! a general GEMM.
+
+use crate::gemm::dot;
+use crate::mat::Mat;
+
+/// `G = XᵀX` for an `m×k` matrix `X`; `G` is `k×k` symmetric.
+pub fn gram(x: &Mat) -> Mat {
+    let mut g = Mat::zeros(x.ncols(), x.ncols());
+    gram_into(x, &mut g);
+    g
+}
+
+/// `G = XᵀX` into caller-owned `g` (overwritten).
+pub fn gram_into(x: &Mat, g: &mut Mat) {
+    let k = x.ncols();
+    assert_eq!(g.shape(), (k, k), "gram output shape mismatch");
+    g.as_mut_slice().fill(0.0);
+    // Accumulate the upper triangle row-by-row of X: G += xᵣ xᵣᵀ.
+    for r in 0..x.nrows() {
+        let xr = x.row(r);
+        for i in 0..k {
+            let xri = xr[i];
+            if xri == 0.0 {
+                continue;
+            }
+            let gi = &mut g.as_mut_slice()[i * k..(i + 1) * k];
+            for j in i..k {
+                gi[j] += xri * xr[j];
+            }
+        }
+    }
+    mirror_upper_to_lower(g);
+}
+
+/// `G = X·Xᵀ` for a `k×n` matrix `X`; `G` is `k×k` symmetric.
+///
+/// This is the kernel for `HHᵀ` where `H` is stored as `k×n`.
+pub fn outer_gram(x: &Mat) -> Mat {
+    let mut g = Mat::zeros(x.nrows(), x.nrows());
+    outer_gram_into(x, &mut g);
+    g
+}
+
+/// `G = X·Xᵀ` into caller-owned `g` (overwritten).
+pub fn outer_gram_into(x: &Mat, g: &mut Mat) {
+    let k = x.nrows();
+    assert_eq!(g.shape(), (k, k), "outer_gram output shape mismatch");
+    for i in 0..k {
+        let xi = x.row(i);
+        for j in i..k {
+            let v = dot(xi, x.row(j));
+            g[(i, j)] = v;
+        }
+    }
+    mirror_upper_to_lower(g);
+}
+
+fn mirror_upper_to_lower(g: &mut Mat) {
+    let k = g.nrows();
+    for i in 0..k {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul_ta, matmul_tb};
+    use crate::rng::Fill;
+
+    #[test]
+    fn gram_matches_gemm() {
+        let x = Mat::uniform(29, 7, 11);
+        let g = gram(&x);
+        assert!(g.max_abs_diff(&matmul_ta(&x, &x)) < 1e-12);
+    }
+
+    #[test]
+    fn outer_gram_matches_gemm() {
+        let x = Mat::uniform(6, 41, 12);
+        let g = outer_gram(&x);
+        assert!(g.max_abs_diff(&matmul_tb(&x, &x)) < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_psd_diagonal() {
+        let x = Mat::gaussian(50, 9, 13);
+        let g = gram(&x);
+        for i in 0..9 {
+            assert!(g[(i, i)] >= 0.0, "diagonal of a Gram matrix is nonnegative");
+            for j in 0..9 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_of_empty_rows_is_zero() {
+        let x = Mat::zeros(0, 5);
+        assert_eq!(gram(&x), Mat::zeros(5, 5));
+    }
+}

@@ -1,0 +1,426 @@
+//! Owned, row-major dense matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `f64` matrix stored in row-major order.
+///
+/// Row-major layout is chosen because every hot kernel in the NMF
+/// algorithms walks rows of the tall factor matrices (`W`, `AHᵀ`) or rows
+/// of the wide input blocks, and because it makes per-row slicing (used to
+/// scatter/gather blocks between ranks) a contiguous-memory operation.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// An `nrows × ncols` matrix with every entry equal to `v`.
+    pub fn filled(nrows: usize, ncols: usize, v: f64) -> Self {
+        Mat { nrows, ncols, data: vec![v; nrows * ncols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        Mat { nrows, ncols, data }
+    }
+
+    /// Builds a matrix from a nested-slice literal, e.g.
+    /// `Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])`.
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows in from_rows");
+            data.extend_from_slice(r);
+        }
+        Mat { nrows: rows.len(), ncols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries (`nrows * ncols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.nrows);
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.nrows);
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Two distinct rows borrowed mutably at once (for row-swap updates).
+    ///
+    /// # Panics
+    /// Panics if `i == j`.
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j, "two_rows_mut requires distinct rows");
+        let nc = self.ncols;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (a, b) = self.data.split_at_mut(hi * nc);
+        let lo_row = &mut a[lo * nc..(lo + 1) * nc];
+        let hi_row = &mut b[..nc];
+        if i < j {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
+    /// Column `j` copied into a new vector (columns are strided in
+    /// row-major layout, so this is a gather).
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.ncols);
+        (0..self.nrows).map(|i| self.data[i * self.ncols + j]).collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert!(j < self.ncols);
+        assert_eq!(v.len(), self.nrows);
+        for (i, &x) in v.iter().enumerate() {
+            self.data[i * self.ncols + j] = x;
+        }
+    }
+
+    /// A newly allocated copy of the sub-block with rows `r0..r0+nr` and
+    /// columns `c0..c0+nc`.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Mat {
+        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "block out of bounds");
+        let mut out = Mat::zeros(nr, nc);
+        for i in 0..nr {
+            let src = &self.data[(r0 + i) * self.ncols + c0..(r0 + i) * self.ncols + c0 + nc];
+            out.row_mut(i).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Copies `src` into the sub-block whose top-left corner is `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Mat) {
+        assert!(
+            r0 + src.nrows <= self.nrows && c0 + src.ncols <= self.ncols,
+            "set_block out of bounds"
+        );
+        for i in 0..src.nrows {
+            let dst_start = (r0 + i) * self.ncols + c0;
+            self.data[dst_start..dst_start + src.ncols].copy_from_slice(src.row(i));
+        }
+    }
+
+    /// A copy of rows `r0..r0+nr` (contiguous in memory, so a single memcpy).
+    pub fn rows_block(&self, r0: usize, nr: usize) -> Mat {
+        assert!(r0 + nr <= self.nrows);
+        Mat {
+            nrows: nr,
+            ncols: self.ncols,
+            data: self.data[r0 * self.ncols..(r0 + nr) * self.ncols].to_vec(),
+        }
+    }
+
+    /// A copy of columns `c0..c0+nc`.
+    pub fn cols_block(&self, c0: usize, nc: usize) -> Mat {
+        self.block(0, c0, self.nrows, nc)
+    }
+
+    /// Stacks `blocks` vertically. All blocks must share a column count.
+    pub fn vstack(blocks: &[Mat]) -> Mat {
+        assert!(!blocks.is_empty());
+        let ncols = blocks[0].ncols;
+        let nrows: usize = blocks.iter().map(|b| b.nrows).sum();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for b in blocks {
+            assert_eq!(b.ncols, ncols, "vstack column mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Stacks `blocks` horizontally. All blocks must share a row count.
+    pub fn hstack(blocks: &[Mat]) -> Mat {
+        assert!(!blocks.is_empty());
+        let nrows = blocks[0].nrows;
+        let ncols: usize = blocks.iter().map(|b| b.ncols).sum();
+        let mut out = Mat::zeros(nrows, ncols);
+        let mut c0 = 0;
+        for b in blocks {
+            assert_eq!(b.nrows, nrows, "hstack row mismatch");
+            out.set_block(0, c0, b);
+            c0 += b.ncols;
+        }
+        out
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.ncols, self.nrows);
+        // Blocked transpose keeps both source and destination accesses
+        // within cache lines for large matrices.
+        const B: usize = 32;
+        for ib in (0..self.nrows).step_by(B) {
+            for jb in (0..self.ncols).step_by(B) {
+                for i in ib..(ib + B).min(self.nrows) {
+                    for j in jb..(jb + B).min(self.ncols) {
+                        out.data[j * self.nrows + i] = self.data[i * self.ncols + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// True if every entry is `>= 0`.
+    pub fn all_nonnegative(&self) -> bool {
+        self.data.iter().all(|&x| x >= 0.0)
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.nrows, self.ncols)?;
+        let show_rows = self.nrows.min(8);
+        for i in 0..show_rows {
+            let show_cols = self.ncols.min(8);
+            let row: Vec<String> =
+                self.row(i)[..show_cols].iter().map(|x| format!("{x:10.4}")).collect();
+            let ellipsis = if self.ncols > show_cols { " ..." } else { "" };
+            writeln!(f, "  [{}{}]", row.join(", "), ellipsis)?;
+        }
+        if self.nrows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let m = Mat::eye(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut m = Mat::zeros(2, 2);
+        m[(0, 1)] = 7.0;
+        assert_eq!(m[(0, 1)], 7.0);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn block_and_set_block() {
+        let m = Mat::from_fn(4, 5, |i, j| (i * 5 + j) as f64);
+        let b = m.block(1, 2, 2, 3);
+        assert_eq!(b.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(b.row(1), &[12.0, 13.0, 14.0]);
+        let mut z = Mat::zeros(4, 5);
+        z.set_block(1, 2, &b);
+        assert_eq!(z[(2, 4)], 14.0);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn rows_block_is_contiguous_copy() {
+        let m = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let b = m.rows_block(2, 2);
+        assert_eq!(b.as_slice(), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn stack_round_trips_block() {
+        let m = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let top = m.rows_block(0, 2);
+        let bot = m.rows_block(2, 2);
+        assert_eq!(Mat::vstack(&[top, bot]), m);
+        let left = m.cols_block(0, 2);
+        let right = m.cols_block(2, 2);
+        assert_eq!(Mat::hstack(&[left, right]), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_fn(37, 53, |i, j| (i * 53 + j) as f64 * 0.5);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (53, 37));
+        assert_eq!(t[(10, 20)], m[(20, 10)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn two_rows_mut_orders_correctly() {
+        let mut m = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        {
+            let (r2, r0) = m.two_rows_mut(2, 0);
+            assert_eq!(r2, &[4.0, 5.0]);
+            assert_eq!(r0, &[0.0, 1.0]);
+            r2[0] = -1.0;
+        }
+        assert_eq!(m[(2, 0)], -1.0);
+    }
+
+    #[test]
+    fn set_col_gathers() {
+        let mut m = Mat::zeros(3, 2);
+        m.set_col(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.col(0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Mat::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(1, 1)] = 1.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

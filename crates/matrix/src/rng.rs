@@ -1,0 +1,106 @@
+//! Deterministic random fills.
+//!
+//! The paper stresses that all algorithms are initialized "with the same
+//! random seed ... so that all the algorithms perform the same
+//! computations" (§6.1.3), and that each process generates its local part
+//! of a synthetic matrix from "its own prime seed" (§6.1.1). Everything
+//! here is therefore seeded explicitly — no global RNG state.
+
+use crate::mat::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded constructors for [`Mat`].
+pub trait Fill {
+    /// Uniform entries on `[0, 1)`.
+    fn uniform(nrows: usize, ncols: usize, seed: u64) -> Self;
+    /// Standard normal entries (Box–Muller; avoids an extra distribution
+    /// dependency).
+    fn gaussian(nrows: usize, ncols: usize, seed: u64) -> Self;
+}
+
+impl Fill for Mat {
+    fn uniform(nrows: usize, ncols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..nrows * ncols).map(|_| rng.gen::<f64>()).collect();
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    fn gaussian(nrows: usize, ncols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = nrows * ncols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(&mut rng);
+            data.push(z0);
+            if data.len() < n {
+                data.push(z1);
+            }
+        }
+        Mat::from_vec(nrows, ncols, data)
+    }
+}
+
+/// One Box–Muller draw: two independent standard normals from two uniforms.
+pub fn box_muller(rng: &mut impl Rng) -> (f64, f64) {
+    // Guard u1 away from zero so ln(u1) is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Uniform nonnegative matrix scaled so that `W·H` has entries of order 1
+/// when both factors are drawn this way with rank `k`.
+pub fn random_factor(nrows: usize, ncols: usize, k: usize, seed: u64) -> Mat {
+    let mut m = Mat::uniform(nrows, ncols, seed);
+    // E[(WH)_ij] = k * E[w] * E[h]; dividing each factor by sqrt(k)/2... keep
+    // it simple: scale by 1/sqrt(k) so products stay O(1).
+    let s = 1.0 / (k.max(1) as f64).sqrt();
+    m.scale(s);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = Mat::uniform(5, 5, 99);
+        let b = Mat::uniform(5, 5, 99);
+        let c = Mat::uniform(5, 5, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_entries_in_range() {
+        let a = Mat::uniform(20, 20, 1);
+        assert!(a.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let a = Mat::gaussian(200, 200, 7);
+        let n = a.len() as f64;
+        let mean = a.sum() / n;
+        let var = a.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn gaussian_handles_odd_element_count() {
+        let a = Mat::gaussian(3, 3, 8);
+        assert_eq!(a.len(), 9);
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn random_factor_is_nonnegative() {
+        let f = random_factor(10, 4, 4, 3);
+        assert!(f.all_nonnegative());
+    }
+}

@@ -1,0 +1,228 @@
+//! Lawson–Hanson active-set NNLS.
+//!
+//! The classic single-variable active-set method the paper's §1 cites as
+//! the standard alternative to BPP ("active set and active-set like
+//! methods are very suitable" when `k ≪ min(m,n)`). It moves exactly one
+//! variable into the passive set per outer iteration and backtracks to
+//! the feasible boundary when the unconstrained solve goes negative, so
+//! it converges more slowly than BPP's block exchanges — the difference
+//! Kim & Park quantify and the reason the paper uses BPP. Included for
+//! completeness of the solver menu and as a second exact reference.
+
+use crate::NlsSolver;
+use nmf_matrix::{solve_spd, Mat};
+
+/// Lawson–Hanson active-set solver (exact solve per call, like BPP).
+#[derive(Clone, Debug)]
+pub struct ActiveSet {
+    /// Dual-feasibility tolerance for the stopping test.
+    pub tol: f64,
+    /// Outer-iteration cap (≥ 2k suffices in exact arithmetic; the cap
+    /// guards against stalling under ill-conditioning).
+    pub max_outer: usize,
+}
+
+impl Default for ActiveSet {
+    fn default() -> Self {
+        ActiveSet { tol: 1e-12, max_outer: 400 }
+    }
+}
+
+impl NlsSolver for ActiveSet {
+    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+        assert_eq!(x.shape(), ctb.shape());
+        let k = gram.nrows();
+        assert_eq!(gram.ncols(), k);
+        for i in 0..x.nrows() {
+            let b: Vec<f64> = ctb.row(i).to_vec();
+            let sol = self.solve_one(gram, &b);
+            x.row_mut(i).copy_from_slice(&sol);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ActiveSet"
+    }
+}
+
+impl ActiveSet {
+    /// Solves `min_{x≥0} xᵀGx − 2xᵀb` for one right-hand side.
+    pub fn solve_one(&self, g: &Mat, b: &[f64]) -> Vec<f64> {
+        let k = g.nrows();
+        let mut passive = vec![false; k];
+        let mut x = vec![0.0; k];
+
+        for _outer in 0..self.max_outer {
+            // Negative gradient w = b − G·x; optimal iff w ≤ tol outside
+            // the passive set.
+            let mut best_j = None;
+            let mut best_w = self.tol;
+            for j in 0..k {
+                if passive[j] {
+                    continue;
+                }
+                let gj = g.row(j);
+                let wj = b[j] - dot_sparse(gj, &x);
+                if wj > best_w {
+                    best_w = wj;
+                    best_j = Some(j);
+                }
+            }
+            let Some(enter) = best_j else { break };
+            passive[enter] = true;
+
+            // Inner loop: solve on the passive set; backtrack while the
+            // solution leaves the feasible region.
+            loop {
+                let free: Vec<usize> =
+                    (0..k).filter(|&j| passive[j]).collect();
+                let z = solve_on_support(g, b, &free);
+                if z.iter().all(|&v| v > 0.0) {
+                    x.fill(0.0);
+                    for (idx, &j) in free.iter().enumerate() {
+                        x[j] = z[idx];
+                    }
+                    break;
+                }
+                // Step toward z until the first variable hits zero.
+                let mut alpha = f64::INFINITY;
+                for (idx, &j) in free.iter().enumerate() {
+                    if z[idx] <= 0.0 {
+                        let denom = x[j] - z[idx];
+                        if denom > 0.0 {
+                            alpha = alpha.min(x[j] / denom);
+                        } else {
+                            alpha = 0.0;
+                        }
+                    }
+                }
+                let alpha = alpha.clamp(0.0, 1.0);
+                for (idx, &j) in free.iter().enumerate() {
+                    x[j] += alpha * (z[idx] - x[j]);
+                }
+                // Deactivate everything that reached the boundary.
+                let mut removed = false;
+                for &j in &free {
+                    if x[j] <= self.tol {
+                        x[j] = 0.0;
+                        if passive[j] {
+                            passive[j] = false;
+                            removed = true;
+                        }
+                    }
+                }
+                if !removed {
+                    // Numerical stall: accept the backtracked point.
+                    break;
+                }
+                if !passive.iter().any(|&p| p) {
+                    break;
+                }
+            }
+        }
+        x
+    }
+}
+
+fn dot_sparse(grow: &[f64], x: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (g, v) in grow.iter().zip(x) {
+        if *v != 0.0 {
+            s += g * v;
+        }
+    }
+    s
+}
+
+/// Unconstrained solve of `G_FF z = b_F` on the support `free`.
+fn solve_on_support(g: &Mat, b: &[f64], free: &[usize]) -> Vec<f64> {
+    let f = free.len();
+    if f == 0 {
+        return Vec::new();
+    }
+    let mut gff = Mat::zeros(f, f);
+    for (a, &ja) in free.iter().enumerate() {
+        for (c, &jc) in free.iter().enumerate() {
+            gff[(a, c)] = g[(ja, jc)];
+        }
+    }
+    let mut rhs = Mat::zeros(f, 1);
+    for (a, &ja) in free.iter().enumerate() {
+        rhs[(a, 0)] = b[ja];
+    }
+    match solve_spd(&gff, &rhs) {
+        Ok(sol) => (0..f).map(|a| sol[(a, 0)]).collect(),
+        Err(_) => vec![0.0; f],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::exhaustive_nnls;
+    use crate::{Bpp, NlsSolver};
+    use nmf_matrix::rng::Fill;
+    use nmf_matrix::{gram, matmul_ta};
+
+    fn instance(k: usize, r: usize, seed: u64) -> (Mat, Mat) {
+        let c = Mat::gaussian(3 * k + 5, k, seed);
+        let b = Mat::gaussian(3 * k + 5, r, seed + 1);
+        let mut g = gram(&c);
+        for i in 0..k {
+            g[(i, i)] += 1e-8;
+        }
+        (g, matmul_ta(&b, &c))
+    }
+
+    #[test]
+    fn matches_exhaustive_reference() {
+        for seed in 0..15 {
+            let k = 2 + (seed as usize % 4);
+            let (g, ctb) = instance(k, 3, 300 + seed);
+            let mut x = Mat::zeros(3, k);
+            ActiveSet::default().update(&g, &ctb, &mut x);
+            for i in 0..3 {
+                let expect = exhaustive_nnls(&g, ctb.row(i));
+                for j in 0..k {
+                    assert!(
+                        (x[(i, j)] - expect[j]).abs() < 1e-6,
+                        "seed {seed} row {i}: got {:?}, expected {:?}",
+                        x.row(i),
+                        expect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_bpp() {
+        let (g, ctb) = instance(9, 20, 400);
+        let mut x_as = Mat::zeros(20, 9);
+        let mut x_bpp = Mat::zeros(20, 9);
+        ActiveSet::default().update(&g, &ctb, &mut x_as);
+        Bpp::default().update(&g, &ctb, &mut x_bpp);
+        assert!(
+            x_as.max_abs_diff(&x_bpp) < 1e-6,
+            "active-set and BPP must find the same optimum"
+        );
+    }
+
+    #[test]
+    fn nonnegative_output() {
+        let (g, ctb) = instance(7, 12, 500);
+        let mut x = Mat::zeros(12, 7);
+        ActiveSet::default().update(&g, &ctb, &mut x);
+        assert!(x.all_nonnegative());
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let (g, _) = instance(5, 1, 600);
+        let ctb = Mat::zeros(3, 5);
+        let mut x = Mat::zeros(3, 5);
+        ActiveSet::default().update(&g, &ctb, &mut x);
+        assert_eq!(x, Mat::zeros(3, 5));
+    }
+}

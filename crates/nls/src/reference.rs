@@ -1,0 +1,105 @@
+//! Brute-force NNLS reference for tests.
+//!
+//! Enumerates all `2^k` passive sets, solves the unconstrained system on
+//! each, and returns the feasible solution that satisfies the KKT
+//! conditions (falling back to the lowest-objective feasible candidate
+//! under numerical ties). Exponential — for test-sized `k ≤ ~12` only.
+
+use nmf_matrix::{solve_spd, Mat};
+
+/// Exact solution of `min_{x≥0} xᵀGx − 2xᵀb` by exhaustive support
+/// enumeration. `g` is `k×k` SPD, `b` has length `k`.
+pub fn exhaustive_nnls(g: &Mat, b: &[f64]) -> Vec<f64> {
+    let k = g.nrows();
+    assert_eq!(g.ncols(), k);
+    assert_eq!(b.len(), k);
+    assert!(k <= 16, "exhaustive reference is exponential in k");
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let tol = 1e-9;
+    for mask in 0u32..(1 << k) {
+        let free: Vec<usize> = (0..k).filter(|&j| mask & (1 << j) != 0).collect();
+        let f = free.len();
+        let mut x = vec![0.0; k];
+        if f > 0 {
+            let mut gff = Mat::zeros(f, f);
+            for (a, &ja) in free.iter().enumerate() {
+                for (c, &jc) in free.iter().enumerate() {
+                    gff[(a, c)] = g[(ja, jc)];
+                }
+            }
+            let mut rhs = Mat::zeros(f, 1);
+            for (a, &ja) in free.iter().enumerate() {
+                rhs[(a, 0)] = b[ja];
+            }
+            let sol = match solve_spd(&gff, &rhs) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            for (a, &ja) in free.iter().enumerate() {
+                x[ja] = sol[(a, 0)];
+            }
+        }
+        // Primal feasibility.
+        if x.iter().any(|&v| v < -tol) {
+            continue;
+        }
+        // Dual feasibility: y = Gx − b ≥ 0 off the support.
+        let mut feasible = true;
+        for j in 0..k {
+            let yj: f64 = (0..k).map(|l| g[(j, l)] * x[l]).sum::<f64>() - b[j];
+            if mask & (1 << j) == 0 && yj < -tol {
+                feasible = false;
+                break;
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let obj: f64 = (0..k)
+            .map(|i| {
+                x[i] * (0..k).map(|j| g[(i, j)] * x[j]).sum::<f64>() - 2.0 * x[i] * b[i]
+            })
+            .sum();
+        let x_clamped: Vec<f64> = x.iter().map(|&v| v.max(0.0)).collect();
+        match &best {
+            Some((bobj, _)) if *bobj <= obj => {}
+            _ => best = Some((obj, x_clamped)),
+        }
+    }
+    best.expect("strictly convex NNLS always has a KKT point").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::gram;
+    use nmf_matrix::rng::Fill;
+
+    #[test]
+    fn unconstrained_interior_solution() {
+        // G = I: solution is max(b, 0) componentwise.
+        let g = Mat::eye(3);
+        let x = exhaustive_nnls(&g, &[1.0, -2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn kkt_holds_on_random_instances() {
+        for seed in 0..10 {
+            let c = Mat::gaussian(12, 4, 70 + seed);
+            let mut g = gram(&c);
+            for i in 0..4 {
+                g[(i, i)] += 1e-6;
+            }
+            let b: Vec<f64> = Mat::gaussian(1, 4, 90 + seed).as_slice().to_vec();
+            let x = exhaustive_nnls(&g, &b);
+            for j in 0..4 {
+                let yj: f64 = (0..4).map(|l| g[(j, l)] * x[l]).sum::<f64>() - b[j];
+                assert!(x[j] >= 0.0);
+                assert!(yj > -1e-6, "dual infeasible");
+                assert!((x[j] * yj).abs() < 1e-5, "complementarity violated");
+            }
+        }
+    }
+}

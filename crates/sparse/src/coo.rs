@@ -1,0 +1,122 @@
+//! Coordinate-format sparse builder.
+
+use crate::csr::Csr;
+
+/// A mutable collection of `(row, col, value)` triplets.
+///
+/// Duplicate coordinates are summed on conversion to [`Csr`], matching the
+/// convention of Matrix Market readers and making the builder safe to use
+/// from generators that may emit the same edge twice.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// An empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        Coo { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// With reserved capacity for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut c = Coo::new(nrows, ncols);
+        c.entries.reserve(cap);
+        c
+    }
+
+    /// Appends a triplet. Zero values are kept until conversion (they are
+    /// dropped by `to_csr` after duplicate summing).
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols, "coo entry out of bounds");
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of triplets currently held (before dedup).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR: sorts by `(row, col)`, sums duplicates, drops
+    /// entries that cancel to exactly zero.
+    pub fn to_csr(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut it = self.entries.iter().peekable();
+        while let Some(&(r, c, v)) = it.next() {
+            let mut acc = v;
+            while let Some(&&(r2, c2, v2)) = it.peek() {
+                if r2 == r && c2 == c {
+                    acc += v2;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if acc != 0.0 {
+                indices.push(c as usize);
+                values.push(acc);
+                indptr[r as usize + 1] += 1;
+            }
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        Csr::from_parts(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_sorts() {
+        let mut c = Coo::new(3, 3);
+        c.push(2, 1, 5.0);
+        c.push(0, 0, 1.0);
+        c.push(1, 2, 3.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        c.push(0, 1, 2.5);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut c = Coo::new(1, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 0, -1.0);
+        c.push(0, 1, 2.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_matrix() {
+        let m = Coo::new(4, 5).to_csr();
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+    }
+}

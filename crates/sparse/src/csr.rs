@@ -1,0 +1,285 @@
+//! Compressed sparse row storage.
+
+use crate::coo::Coo;
+use nmf_matrix::Mat;
+
+/// An immutable CSR matrix.
+///
+/// `indptr` has length `nrows + 1`; row `i`'s nonzeros live at
+/// `indices[indptr[i]..indptr[i+1]]` / `values[...]`, with `indices`
+/// sorted ascending within each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Assembles a CSR from raw parts, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if `indptr` is malformed, indices are out of bounds, or rows
+    /// are not sorted.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at nnz");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        for i in 0..nrows {
+            assert!(indptr[i] <= indptr[i + 1], "indptr must be nondecreasing");
+            let row = &indices[indptr[i]..indptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row indices must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < ncols, "column index out of bounds");
+            }
+        }
+        Csr { nrows, ncols, indptr, indices, values }
+    }
+
+    /// An empty matrix with no nonzeros.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr { nrows, ncols, indptr: vec![0; nrows + 1], indices: vec![], values: vec![] }
+    }
+
+    /// Builds from a dense matrix, keeping entries with `|x| > 0`.
+    pub fn from_dense(m: &Mat) -> Self {
+        let mut coo = Coo::new(m.nrows(), m.ncols());
+        for i in 0..m.nrows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Densifies (test/debug helper; not used in the algorithms).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fill fraction `nnz / (nrows·ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// Row `i` as `(column indices, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(i, j)` via binary search within the row (0 if absent).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// The transpose as a new CSR (counting sort over columns; O(nnz)).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let p = next[j];
+                indices[p] = i;
+                values[p] = v;
+                next[j] += 1;
+            }
+        }
+        Csr { nrows: self.ncols, ncols: self.nrows, indptr, indices, values }
+    }
+
+    /// Extracts the sub-block with rows `r0..r0+nr` and columns
+    /// `c0..c0+nc`, reindexed to local coordinates.
+    ///
+    /// This is how the input matrix is dealt onto the `pr × pc` processor
+    /// grid: rank `(i, j)` owns `A.block(...)` of its row/column ranges.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Csr {
+        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "block out of bounds");
+        let mut indptr = Vec::with_capacity(nr + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let c1 = c0 + nc;
+        for i in r0..r0 + nr {
+            let (cols, vals) = self.row(i);
+            // Columns are sorted: binary search the window [c0, c1).
+            let lo = cols.partition_point(|&c| c < c0);
+            let hi = cols.partition_point(|&c| c < c1);
+            for p in lo..hi {
+                indices.push(cols[p] - c0);
+                values.push(vals[p]);
+            }
+            indptr.push(indices.len());
+        }
+        Csr { nrows: nr, ncols: nc, indptr, indices, values }
+    }
+
+    /// Rows `r0..r0+nr` as a block (all columns).
+    pub fn rows_block(&self, r0: usize, nr: usize) -> Csr {
+        self.block(r0, 0, nr, self.ncols)
+    }
+
+    /// Columns `c0..c0+nc` as a block (all rows).
+    pub fn cols_block(&self, c0: usize, nc: usize) -> Csr {
+        self.block(0, c0, self.nrows, nc)
+    }
+
+    /// Per-row nonzero counts (degree sequence when the matrix is an
+    /// adjacency matrix).
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.nrows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::rng::Fill;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(2, 0, 3.0);
+        c.push(2, 1, 4.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.row(2).0, &[0, 1]);
+        assert_eq!(m.density(), 4.0 / 9.0);
+        assert_eq!(m.row_degrees(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = Mat::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]]);
+        let s = Csr::from_dense(&d);
+        assert_eq!(s, sample());
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let d = Mat::uniform(13, 7, 5);
+        let mut sparse_d = d.clone();
+        // Zero roughly half the entries to make it properly sparse.
+        for (idx, v) in sparse_d.as_mut_slice().iter_mut().enumerate() {
+            if idx % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let s = Csr::from_dense(&sparse_d);
+        assert_eq!(s.transpose().to_dense(), sparse_d.transpose());
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn block_extraction_matches_dense() {
+        let d = Mat::uniform(10, 8, 6);
+        let mut sd = d.clone();
+        for (idx, v) in sd.as_mut_slice().iter_mut().enumerate() {
+            if idx % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let s = Csr::from_dense(&sd);
+        let b = s.block(2, 3, 5, 4);
+        assert_eq!(b.to_dense(), sd.block(2, 3, 5, 4));
+    }
+
+    #[test]
+    fn blocks_tile_the_matrix() {
+        let s = sample();
+        let nnz_sum: usize = (0..3).map(|i| s.rows_block(i, 1).nnz()).sum();
+        assert_eq!(nnz_sum, s.nnz());
+        let nnz_sum_c: usize = (0..3).map(|j| s.cols_block(j, 1).nnz()).sum();
+        assert_eq!(nnz_sum_c, s.nnz());
+    }
+
+    #[test]
+    fn fro_norm_matches_dense() {
+        let m = sample();
+        assert_eq!(m.fro_norm_sq(), m.to_dense().fro_norm_sq());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_parts_validates_sorting() {
+        Csr::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+}

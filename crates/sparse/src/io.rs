@@ -1,0 +1,301 @@
+//! Matrix Market I/O.
+//!
+//! The paper's real-world inputs (webbase-2001 and the like) ship as
+//! Matrix Market files; this module reads and writes the two formats the
+//! library needs:
+//!
+//! * `coordinate real general` — sparse matrices ([`read_matrix_market`]
+//!   returns a [`Csr`]);
+//! * `array real general` — dense matrices (column-major per the spec),
+//!   read into an [`nmf_matrix::Mat`].
+//!
+//! Pattern files (`coordinate pattern`) are read with all nonzeros set
+//! to 1.0, the convention for adjacency matrices.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use nmf_matrix::Mat;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    /// Malformed header or body, with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+struct Header {
+    format: String,    // "coordinate" | "array"
+    field: String,     // "real" | "integer" | "pattern"
+    symmetry: String,  // "general" | "symmetric"
+}
+
+fn read_header(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Header, MmError> {
+    let first = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let toks: Vec<&str> = first.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err("missing %%MatrixMarket banner"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") {
+        return Err(parse_err(format!("unsupported object '{}'", toks[1])));
+    }
+    Ok(Header {
+        format: toks[2].to_ascii_lowercase(),
+        field: toks[3].to_ascii_lowercase(),
+        symmetry: toks[4].to_ascii_lowercase(),
+    })
+}
+
+/// Reads a sparse `coordinate` Matrix Market stream into CSR.
+/// Symmetric files are expanded to general storage.
+pub fn read_matrix_market(reader: impl Read) -> Result<Csr, MmError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = read_header(&mut lines)?;
+    if header.format != "coordinate" {
+        return Err(parse_err(format!(
+            "expected coordinate format, found '{}' (use read_matrix_market_dense)",
+            header.format
+        )));
+    }
+    let pattern = header.field == "pattern";
+    if !pattern && header.field != "real" && header.field != "integer" {
+        return Err(parse_err(format!("unsupported field '{}'", header.field)));
+    }
+    let symmetric = header.symmetry == "symmetric";
+    if !symmetric && header.symmetry != "general" {
+        return Err(parse_err(format!("unsupported symmetry '{}'", header.symmetry)));
+    }
+
+    // Skip comments, read the size line.
+    let size_line = loop {
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break line;
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token '{t}'"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be 'rows cols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(nrows, ncols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|_| parse_err("bad column index"))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i}, {j}) out of bounds (1-based)")));
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetric && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a dense `array` Matrix Market stream (column-major) into a
+/// row-major [`Mat`].
+pub fn read_matrix_market_dense(reader: impl Read) -> Result<Mat, MmError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = read_header(&mut lines)?;
+    if header.format != "array" {
+        return Err(parse_err("expected array format (use read_matrix_market for sparse)"));
+    }
+    if header.field != "real" && header.field != "integer" {
+        return Err(parse_err(format!("unsupported field '{}'", header.field)));
+    }
+    let size_line = loop {
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break line;
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad size token")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 2 {
+        return Err(parse_err("array size line must be 'rows cols'"));
+    }
+    let (nrows, ncols) = (dims[0], dims[1]);
+    let mut m = Mat::zeros(nrows, ncols);
+    let mut idx = 0usize;
+    for line in lines {
+        let line = line?;
+        for tok in line.split_whitespace() {
+            if tok.starts_with('%') {
+                break;
+            }
+            let v: f64 = tok.parse().map_err(|_| parse_err(format!("bad value '{tok}'")))?;
+            if idx >= nrows * ncols {
+                return Err(parse_err("too many values"));
+            }
+            // Column-major order per the Matrix Market spec.
+            let (col, row) = (idx / nrows, idx % nrows);
+            m[(row, col)] = v;
+            idx += 1;
+        }
+    }
+    if idx != nrows * ncols {
+        return Err(parse_err(format!("expected {} values, found {idx}", nrows * ncols)));
+    }
+    Ok(m)
+}
+
+/// Writes `m` as `coordinate real general` Matrix Market.
+pub fn write_matrix_market(m: &Csr, writer: impl Write) -> Result<(), MmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for i in 0..m.nrows() {
+        let (cols, vals) = m.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {v:.17e}", i + 1, j + 1)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `m` as `array real general` Matrix Market (column-major).
+pub fn write_matrix_market_dense(m: &Mat, writer: impl Write) -> Result<(), MmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} {}", m.nrows(), m.ncols())?;
+    for j in 0..m.ncols() {
+        for i in 0..m.nrows() {
+            writeln!(w, "{:.17e}", m[(i, j)])?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::banded;
+    use nmf_matrix::rng::Fill;
+
+    #[test]
+    fn sparse_round_trip() {
+        let m = banded(9, 2);
+        let mut bytes = Vec::new();
+        write_matrix_market(&m, &mut bytes).unwrap();
+        let back = read_matrix_market(bytes.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = Mat::uniform(7, 5, 9);
+        let mut bytes = Vec::new();
+        write_matrix_market_dense(&m, &mut bytes).unwrap();
+        let back = read_matrix_market_dense(bytes.as_slice()).unwrap();
+        assert!(back.max_abs_diff(&m) < 1e-15);
+    }
+
+    #[test]
+    fn reads_pattern_and_comments() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    3 4 2\n\
+                    1 1\n\
+                    3 4\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 3), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn expands_symmetric_storage() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 2\n\
+                    2 1 5.0\n\
+                    3 3 7.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0, "symmetric mirror entry");
+        assert_eq!(m.get(2, 2), 7.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
+        let bad_bounds = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(bad_bounds.as_bytes()).is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(wrong_count.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dense_reader_is_column_major() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        let m = read_matrix_market_dense(text.as_bytes()).unwrap();
+        // Column-major: first column is [1, 2].
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sparse × tall-dense multiply kernels (the `MM` task for sparse inputs).
+//!
+//! The two products the algorithms need are `A·Hᵀ` (for the `W` update)
+//! and `WᵀA` (for the `H` update). Both are computed here with the dense
+//! operand and output held in a "k-contiguous" layout — every logical
+//! column of the k-dimensional factor is a contiguous row — so each
+//! visited nonzero triggers one contiguous axpy of length `k`:
+//!
+//! * [`spmm_dense_t`]: `V = A·Bᵀ` with `B` given as `Bt` (`n×k`), output
+//!   `m×k`. Used as `V = A·Hᵀ` with `Ht`.
+//! * [`spmm_at_dense`]: `Y = Aᵀ·W` (`n×k`) for `W` of shape `m×k`. `WᵀA`
+//!   is its transpose; the algorithms keep the `n×k` layout throughout and
+//!   only reinterpret, never physically transpose.
+//!
+//! Each kernel performs `2·nnz(A)·k` flops, the count the paper uses for
+//! sparse inputs.
+
+use crate::csr::Csr;
+use nmf_matrix::gemm::axpy;
+use nmf_matrix::Mat;
+
+/// `V = A·Bᵀ` where `A` is `m×n` sparse and `Bt` is `n×k` dense
+/// (i.e. `B` is `k×n`). Output is `m×k`.
+pub fn spmm_dense_t(a: &Csr, bt: &Mat) -> Mat {
+    let mut v = Mat::zeros(a.nrows(), bt.ncols());
+    spmm_dense_t_into(a, bt, &mut v);
+    v
+}
+
+/// `V = A·Bᵀ` into caller-owned `v` (overwritten).
+pub fn spmm_dense_t_into(a: &Csr, bt: &Mat, v: &mut Mat) {
+    assert_eq!(a.ncols(), bt.nrows(), "spmm_dense_t inner dimension mismatch");
+    assert_eq!(v.shape(), (a.nrows(), bt.ncols()), "spmm_dense_t output shape mismatch");
+    v.as_mut_slice().fill(0.0);
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let vrow = v.row_mut(i);
+        for (&j, &x) in cols.iter().zip(vals) {
+            axpy(x, bt.row(j), vrow);
+        }
+    }
+}
+
+/// `Y = Aᵀ·W` where `A` is `m×n` sparse and `W` is `m×k` dense.
+/// Output is `n×k` (the transpose of `WᵀA`).
+pub fn spmm_at_dense(a: &Csr, w: &Mat) -> Mat {
+    let mut y = Mat::zeros(a.ncols(), w.ncols());
+    spmm_at_dense_into(a, w, &mut y);
+    y
+}
+
+/// `Y = Aᵀ·W` into caller-owned `y` (overwritten).
+pub fn spmm_at_dense_into(a: &Csr, w: &Mat, y: &mut Mat) {
+    assert_eq!(a.nrows(), w.nrows(), "spmm_at_dense inner dimension mismatch");
+    assert_eq!(y.shape(), (a.ncols(), w.ncols()), "spmm_at_dense output shape mismatch");
+    y.as_mut_slice().fill(0.0);
+    let k = w.ncols();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let wrow = w.row(i);
+        for (&j, &x) in cols.iter().zip(vals) {
+            let yrow = &mut y.as_mut_slice()[j * k..(j + 1) * k];
+            axpy(x, wrow, yrow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::gemm::{matmul_ta, matmul_tb};
+    use nmf_matrix::rng::Fill;
+
+    fn random_sparse(m: usize, n: usize, seed: u64) -> Csr {
+        let mut d = Mat::uniform(m, n, seed);
+        for (idx, v) in d.as_mut_slice().iter_mut().enumerate() {
+            if idx % 4 != 0 {
+                *v = 0.0;
+            }
+        }
+        Csr::from_dense(&d)
+    }
+
+    #[test]
+    fn a_ht_matches_dense() {
+        let a = random_sparse(14, 9, 61);
+        let ht = Mat::uniform(9, 5, 62); // Hᵀ, n×k
+        let v = spmm_dense_t(&a, &ht);
+        // Dense reference: A · (Htᵀ)ᵀ = A·Hᵀ with H = htᵀ.
+        let expect = matmul_tb(&a.to_dense(), &ht.transpose());
+        assert!(v.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn at_w_matches_dense() {
+        let a = random_sparse(11, 13, 63);
+        let w = Mat::uniform(11, 4, 64);
+        let y = spmm_at_dense(&a, &w);
+        let expect = matmul_ta(&a.to_dense(), &w);
+        assert!(y.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero() {
+        let a = Csr::empty(5, 7);
+        let ht = Mat::uniform(7, 3, 65);
+        assert_eq!(spmm_dense_t(&a, &ht), Mat::zeros(5, 3));
+        let w = Mat::uniform(5, 3, 66);
+        assert_eq!(spmm_at_dense(&a, &w), Mat::zeros(7, 3));
+    }
+
+    #[test]
+    fn into_variants_overwrite() {
+        let a = random_sparse(6, 6, 67);
+        let ht = Mat::uniform(6, 2, 68);
+        let mut v = Mat::filled(6, 2, f64::NAN);
+        spmm_dense_t_into(&a, &ht, &mut v);
+        assert!(v.all_finite());
+    }
+}

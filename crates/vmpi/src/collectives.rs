@@ -1,0 +1,435 @@
+//! Collective communication algorithms.
+//!
+//! Implemented *from point-to-point messages* with the classic algorithms
+//! whose costs the paper quotes in §2.3 (following Chan et al. and
+//! Thakur/Rabenseifner/Gropp):
+//!
+//! * **all-gather** — Bruck's algorithm: `⌈log₂ p⌉` rounds,
+//!   `((p−1)/p)·n` words per rank. Handles any `p` and per-rank block
+//!   sizes (`v` variant) because receivers know all counts.
+//! * **reduce-scatter** — recursive halving with a fold step for
+//!   non-power-of-two `p`: `⌈log₂ p⌉ (+2)` rounds, `((p−1)/p)·n` words
+//!   plus the same number of additions.
+//! * **all-reduce** — Rabenseifner's algorithm: a reduce-scatter followed
+//!   by an all-gather, `2·⌈log₂ p⌉` rounds and `2·((p−1)/p)·n` words. A
+//!   binomial-tree variant ([`Comm::all_reduce_tree`]) is provided for the
+//!   latency/bandwidth ablation.
+//! * **broadcast / reduce** — binomial trees (`⌈log₂ p⌉` rounds).
+//! * **barrier** — dissemination (`⌈log₂ p⌉` rounds of empty messages).
+//! * **gather / scatter** — direct (used only outside the iteration loop,
+//!   for dataset distribution and result collection).
+//!
+//! Every payload word and message is recorded in the rank's
+//! [`CommStats`](crate::stats::CommStats) so tests can compare counted
+//! communication against the paper's Table 2 formulas.
+
+use crate::comm::{Comm, Kind};
+use crate::stats::Op;
+
+/// `⌈log₂ p⌉` (0 for p ≤ 1); the latency factor of every collective here.
+pub fn log2_ceil(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+/// Largest power of two `≤ p`.
+pub fn prev_pow2(p: usize) -> usize {
+    assert!(p >= 1);
+    1 << (usize::BITS - 1 - p.leading_zeros())
+}
+
+fn prefix_sums(counts: &[usize]) -> Vec<usize> {
+    let mut off = Vec::with_capacity(counts.len() + 1);
+    off.push(0);
+    for &c in counts {
+        off.push(off.last().unwrap() + c);
+    }
+    off
+}
+
+fn add_into(acc: &mut [f64], other: &[f64]) {
+    assert_eq!(acc.len(), other.len(), "reduction operand length mismatch");
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+}
+
+impl Comm {
+    // ------------------------------------------------------------------
+    // all-gather
+    // ------------------------------------------------------------------
+
+    /// All-gather with equal block sizes: every rank contributes `send`
+    /// and receives the concatenation over ranks in rank order.
+    pub fn all_gather(&self, send: &[f64]) -> Vec<f64> {
+        let counts = vec![send.len(); self.size()];
+        self.all_gatherv(send, &counts)
+    }
+
+    /// All-gather with per-rank block sizes (`counts[r]` is rank `r`'s
+    /// contribution length; must all be known on every rank, as in
+    /// `MPI_Allgatherv`).
+    pub fn all_gatherv(&self, send: &[f64], counts: &[usize]) -> Vec<f64> {
+        let seq = self.next_seq();
+        self.timed(Op::AllGather, || self.bruck_all_gatherv(send, counts, seq, Op::AllGather))
+    }
+
+    /// Bruck all-gather over point-to-point exchanges. `⌈log₂ p⌉` rounds;
+    /// in round `t` a rank ships the `min(2ᵗ, p−2ᵗ)` blocks it holds.
+    pub(crate) fn bruck_all_gatherv(
+        &self,
+        send: &[f64],
+        counts: &[usize],
+        seq: u64,
+        op: Op,
+    ) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        assert_eq!(counts.len(), p, "counts must have one entry per rank");
+        assert_eq!(counts[r], send.len(), "my block length disagrees with counts");
+        if p == 1 {
+            return send.to_vec();
+        }
+        // blocks[i] holds the block of rank (r + i) mod p.
+        let mut blocks: Vec<Box<[f64]>> = Vec::with_capacity(p);
+        blocks.push(send.into());
+        let mut have = 1usize;
+        let mut round = 0u64;
+        while have < p {
+            let cnt = have.min(p - have);
+            let dst = (r + p - have) % p;
+            let src = (r + have) % p;
+            let send_words: usize = blocks[..cnt].iter().map(|b| b.len()).sum();
+            let mut buf = Vec::with_capacity(send_words);
+            for b in &blocks[..cnt] {
+                buf.extend_from_slice(b);
+            }
+            let tag = self.tag(Kind::AllGather, (seq << 6) | round);
+            let data = self.exchange(dst, src, tag, &buf, op);
+            // Incoming blocks belong to ranks src, src+1, ..., src+cnt-1.
+            let mut off = 0;
+            for t in 0..cnt {
+                let len = counts[(src + t) % p];
+                blocks.push(data[off..off + len].into());
+                off += len;
+            }
+            assert_eq!(off, data.len(), "all-gather round payload length mismatch");
+            have += cnt;
+            round += 1;
+        }
+        // Unrotate: output block j is blocks[(j − r) mod p].
+        let total: usize = counts.iter().sum();
+        let mut out = Vec::with_capacity(total);
+        for j in 0..p {
+            out.extend_from_slice(&blocks[(j + p - r) % p]);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // reduce-scatter
+    // ------------------------------------------------------------------
+
+    /// Reduce-scatter: element-wise sums `data` across ranks and leaves
+    /// rank `r` with the segment of length `counts[r]` (segments in rank
+    /// order). Recursive-halving algorithm with a fold step for
+    /// non-power-of-two `p`.
+    pub fn reduce_scatter(&self, data: &[f64], counts: &[usize]) -> Vec<f64> {
+        let seq = self.next_seq();
+        self.timed(Op::ReduceScatter, || {
+            self.halving_reduce_scatter(data, counts, seq, Op::ReduceScatter)
+        })
+    }
+
+    pub(crate) fn halving_reduce_scatter(
+        &self,
+        data: &[f64],
+        counts: &[usize],
+        seq: u64,
+        op: Op,
+    ) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        assert_eq!(counts.len(), p, "counts must have one entry per rank");
+        let off = prefix_sums(counts);
+        assert_eq!(data.len(), *off.last().unwrap(), "data length must equal sum of counts");
+        if p == 1 {
+            return data.to_vec();
+        }
+        let t = |round: u64| self.tag(Kind::ReduceScatter, (seq << 6) | round);
+
+        let pof2 = prev_pow2(p);
+        let rem = p - pof2;
+        let mut buf = data.to_vec();
+
+        // Fold: the first 2·rem ranks pair up; evens ship their whole
+        // vector to their odd neighbour and drop out of the halving.
+        let newrank: Option<usize> = if r < 2 * rem {
+            if r % 2 == 0 {
+                self.send_op(r + 1, t(0), &buf, op);
+                None
+            } else {
+                let other = self.recv_op(r - 1, t(0));
+                add_into(&mut buf, &other);
+                Some(r / 2)
+            }
+        } else {
+            Some(r - rem)
+        };
+
+        // Virtual chunk v aggregates the real chunks of the rank(s) that
+        // fold onto surviving rank v: {2v, 2v+1} for v < rem, {v + rem}
+        // otherwise. Virtual chunks are contiguous in `buf`.
+        let vcounts: Vec<usize> = (0..pof2)
+            .map(|v| if v < rem { counts[2 * v] + counts[2 * v + 1] } else { counts[v + rem] })
+            .collect();
+        let voff = prefix_sums(&vcounts);
+        let real_of = |nr: usize| if nr < rem { 2 * nr + 1 } else { nr + rem };
+
+        match newrank {
+            Some(nr) => {
+                let (mut lo, mut hi) = (0usize, pof2);
+                let mut dist = pof2 / 2;
+                let mut round = 1u64;
+                while dist >= 1 {
+                    let mid = lo + dist;
+                    let partner = real_of(nr ^ dist);
+                    if nr < mid {
+                        let recv =
+                            self.exchange(partner, partner, t(round), &buf[voff[mid]..voff[hi]], op);
+                        add_into(&mut buf[voff[lo]..voff[mid]], &recv);
+                        hi = mid;
+                    } else {
+                        let recv =
+                            self.exchange(partner, partner, t(round), &buf[voff[lo]..voff[mid]], op);
+                        add_into(&mut buf[voff[mid]..voff[hi]], &recv);
+                        lo = mid;
+                    }
+                    dist /= 2;
+                    round += 1;
+                }
+                debug_assert_eq!(lo, nr);
+                debug_assert_eq!(hi, nr + 1);
+                if nr < rem {
+                    // My virtual chunk covers real ranks 2nr (my folded
+                    // partner) and 2nr+1 (me). Ship the partner's segment
+                    // back.
+                    self.send_op(2 * nr, t(40), &buf[off[2 * nr]..off[2 * nr + 1]], op);
+                    buf[off[2 * nr + 1]..off[2 * nr + 2]].to_vec()
+                } else {
+                    buf[off[nr + rem]..off[nr + rem + 1]].to_vec()
+                }
+            }
+            None => self.recv_op(r + 1, t(40)).into_vec(),
+        }
+    }
+
+    /// Ring reduce-scatter (ablation alternative): `p−1` rounds, same
+    /// bandwidth as recursive halving but `Θ(p)` latency.
+    ///
+    /// Segments travel rightward around the ring accumulating partial
+    /// sums; segment `s` starts at rank `s+1` and arrives, complete, at
+    /// rank `s` on the final round.
+    pub fn reduce_scatter_ring(&self, data: &[f64], counts: &[usize]) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        assert_eq!(counts.len(), p);
+        let off = prefix_sums(counts);
+        assert_eq!(data.len(), *off.last().unwrap());
+        let seq = self.next_seq();
+        self.timed(Op::ReduceScatter, || {
+            if p == 1 {
+                return data.to_vec();
+            }
+            let dst = (r + 1) % p;
+            let src = (r + p - 1) % p;
+            let seg = |s: usize| &data[off[s]..off[s + 1]];
+            // Round t: send the running sum of segment (r−t−1), receive
+            // segment (r−t−2) from the left and fold in my contribution.
+            let mut acc: Vec<f64> = seg((r + p - 1) % p).to_vec();
+            for t in 0..p - 1 {
+                let tag = self.tag(Kind::ReduceScatter, (seq << 6) | t as u64);
+                let incoming = self.exchange(dst, src, tag, &acc, Op::ReduceScatter);
+                let recv_seg = (r + 2 * p - t - 2) % p;
+                acc = seg(recv_seg).to_vec();
+                add_into(&mut acc, &incoming);
+            }
+            // After p−1 rounds acc is my own segment, fully reduced.
+            acc
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // all-reduce
+    // ------------------------------------------------------------------
+
+    /// All-reduce (element-wise sum) via Rabenseifner's algorithm:
+    /// reduce-scatter over near-equal segments, then all-gather.
+    pub fn all_reduce(&self, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let seq = self.next_seq();
+        self.timed(Op::AllReduce, || {
+            if p == 1 {
+                return data.to_vec();
+            }
+            let n = data.len();
+            let base = n / p;
+            let extra = n % p;
+            let counts: Vec<usize> =
+                (0..p).map(|r| base + usize::from(r < extra)).collect();
+            let mine = self.halving_reduce_scatter(data, &counts, seq, Op::AllReduce);
+            let seq2 = self.next_seq();
+            self.bruck_all_gatherv(&mine, &counts, seq2, Op::AllReduce)
+        })
+    }
+
+    /// All-reduce via binomial-tree reduce to rank 0 plus binomial
+    /// broadcast (ablation alternative: lower latency for tiny payloads,
+    /// double the bandwidth term and a serialized root).
+    pub fn all_reduce_tree(&self, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        let seq = self.next_seq();
+        self.timed(Op::AllReduce, || {
+            if p == 1 {
+                return data.to_vec();
+            }
+            let t = |round: u64| self.tag(Kind::AllReduce, (seq << 6) | round);
+            let mut buf = data.to_vec();
+            // Binomial reduce toward rank 0.
+            let mut dist = 1usize;
+            while dist < p {
+                if r & dist != 0 {
+                    self.send_op(r - dist, t(dist.trailing_zeros() as u64), &buf, Op::AllReduce);
+                    break;
+                } else if r + dist < p {
+                    let other =
+                        self.recv_op(r + dist, t(dist.trailing_zeros() as u64));
+                    add_into(&mut buf, &other);
+                }
+                dist <<= 1;
+            }
+            // Binomial broadcast from rank 0.
+            self.binomial_bcast(0, buf, seq, Op::AllReduce)
+        })
+    }
+
+    /// Convenience: all-reduce of one scalar.
+    pub fn all_reduce_scalar(&self, x: f64) -> f64 {
+        self.all_reduce(&[x])[0]
+    }
+
+    // ------------------------------------------------------------------
+    // broadcast / gather / scatter / barrier
+    // ------------------------------------------------------------------
+
+    /// Broadcast `data` from `root` (non-roots pass anything, e.g. `&[]`).
+    pub fn broadcast(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        let seq = self.next_seq();
+        self.timed(Op::Broadcast, || {
+            self.binomial_bcast(root, data.to_vec(), seq, Op::Broadcast)
+        })
+    }
+
+    fn binomial_bcast(&self, root: usize, data: Vec<f64>, seq: u64, op: Op) -> Vec<f64> {
+        let p = self.size();
+        if p == 1 {
+            return data;
+        }
+        let r = self.rank();
+        let vr = (r + p - root) % p;
+        let t = |round: u64| self.tag(Kind::Broadcast, (seq << 6) | 32 | round);
+        let mut buf = data;
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < p {
+            if vr < dist {
+                if vr + dist < p {
+                    let dst = (vr + dist + root) % p;
+                    self.send_op(dst, t(round), &buf, op);
+                }
+            } else if vr < 2 * dist {
+                let src = (vr - dist + root) % p;
+                buf = self.recv_op(src, t(round)).into_vec();
+            }
+            dist <<= 1;
+            round += 1;
+        }
+        buf
+    }
+
+    /// Gathers every rank's `send` at `root`; returns `Some(blocks)` in
+    /// rank order at the root, `None` elsewhere. Direct sends (used
+    /// outside the iteration loop only).
+    pub fn gather(&self, root: usize, send: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let p = self.size();
+        let r = self.rank();
+        let seq = self.next_seq();
+        self.timed(Op::Gather, || {
+            let tag = self.tag(Kind::Gather, seq << 6);
+            if r == root {
+                let mut out = Vec::with_capacity(p);
+                for src in 0..p {
+                    if src == root {
+                        out.push(send.to_vec());
+                    } else {
+                        out.push(self.recv_op(src, tag).into_vec());
+                    }
+                }
+                Some(out)
+            } else {
+                self.send_op(root, tag, send, Op::Gather);
+                None
+            }
+        })
+    }
+
+    /// Scatters `chunks[i]` from `root` to rank `i`; returns this rank's
+    /// chunk. Non-roots pass `None`.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<f64>]>) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        let seq = self.next_seq();
+        self.timed(Op::Scatter, || {
+            let tag = self.tag(Kind::Scatter, seq << 6);
+            if r == root {
+                let chunks = chunks.expect("root must supply scatter chunks");
+                assert_eq!(chunks.len(), p, "scatter needs one chunk per rank");
+                for (dst, chunk) in chunks.iter().enumerate() {
+                    if dst != root {
+                        self.send_op(dst, tag, chunk, Op::Scatter);
+                    }
+                }
+                chunks[root].clone()
+            } else {
+                self.recv_op(root, tag).into_vec()
+            }
+        })
+    }
+
+    /// Dissemination barrier: `⌈log₂ p⌉` rounds of empty messages; no
+    /// rank exits before every rank has entered.
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let r = self.rank();
+        let seq = self.next_seq();
+        self.timed(Op::Barrier, || {
+            let mut dist = 1usize;
+            let mut round = 0u64;
+            while dist < p {
+                let tag = self.tag(Kind::Barrier, (seq << 6) | round);
+                let dst = (r + dist) % p;
+                let src = (r + p - dist) % p;
+                let _ = self.exchange(dst, src, tag, &[], Op::Barrier);
+                dist <<= 1;
+                round += 1;
+            }
+        });
+    }
+}

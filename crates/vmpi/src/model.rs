@@ -1,0 +1,113 @@
+//! The α-β-γ communication/computation cost model (paper §2.2–2.3).
+//!
+//! A message of `n` words costs `α + nβ`; a flop costs `γ`. Collective
+//! costs follow the paper's §2.3 expressions, which assume the optimal
+//! algorithms implemented in [`crate::collectives`]:
+//!
+//! * all-gather:      `α·log p + β·((p−1)/p)·n`
+//! * reduce-scatter:  `α·log p + (β+γ)·((p−1)/p)·n`
+//! * all-reduce:      `2α·log p + (2β+γ)·((p−1)/p)·n`
+//!
+//! (`n` is the total data size; costs are zero at `p = 1`.) These
+//! functions power the paper-scale analytic projections in `nmf-data`.
+
+use crate::collectives::log2_ceil;
+
+/// Machine constants for the α-β-γ model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Per-word (8-byte f64) transfer cost, seconds.
+    pub beta: f64,
+    /// Per-flop cost, seconds.
+    pub gamma: f64,
+}
+
+impl CostModel {
+    /// Constants resembling the paper's Cray XC30 "Edison" *per rank*:
+    /// ranks are cores, and 24 cores share each node's Aries NIC, so the
+    /// effective per-rank bandwidth is roughly 1/24 of the ~8 GB/s node
+    /// bandwidth (~2.5e-8 s per 8-byte word); MPI latency ~2 µs; ~5
+    /// Gflop/s per-core compute.
+    pub fn edison_like() -> Self {
+        CostModel { alpha: 2e-6, beta: 2.5e-8, gamma: 2e-10 }
+    }
+
+    fn frac(p: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            (p - 1) as f64 / p as f64
+        }
+    }
+
+    /// Cost of one point-to-point message of `n` words.
+    pub fn message(&self, n: usize) -> f64 {
+        self.alpha + self.beta * n as f64
+    }
+
+    /// All-gather of total size `n` words over `p` ranks.
+    pub fn all_gather(&self, p: usize, n: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        self.alpha * log2_ceil(p) as f64 + self.beta * Self::frac(p) * n as f64
+    }
+
+    /// Reduce-scatter of total size `n` words over `p` ranks.
+    pub fn reduce_scatter(&self, p: usize, n: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        self.alpha * log2_ceil(p) as f64
+            + (self.beta + self.gamma) * Self::frac(p) * n as f64
+    }
+
+    /// All-reduce of size `n` words over `p` ranks (Rabenseifner).
+    pub fn all_reduce(&self, p: usize, n: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        2.0 * self.alpha * log2_ceil(p) as f64
+            + (2.0 * self.beta + self.gamma) * Self::frac(p) * n as f64
+    }
+
+    /// Cost of `flops` floating-point operations.
+    pub fn compute(&self, flops: f64) -> f64 {
+        self.gamma * flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_are_free_on_one_rank() {
+        let m = CostModel::edison_like();
+        assert_eq!(m.all_gather(1, 1000), 0.0);
+        assert_eq!(m.reduce_scatter(1, 1000), 0.0);
+        assert_eq!(m.all_reduce(1, 1000), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_all_gather_latency() {
+        let m = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        assert_eq!(m.all_reduce(8, 100), 2.0 * m.all_gather(8, 100));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_words() {
+        let m = CostModel { alpha: 0.0, beta: 1.0, gamma: 0.0 };
+        let c1 = m.all_gather(4, 400);
+        assert!((c1 - 300.0).abs() < 1e-12); // (p-1)/p * n = 3/4 * 400
+    }
+
+    #[test]
+    fn latency_grows_logarithmically() {
+        let m = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        assert_eq!(m.all_gather(2, 0), 1.0);
+        assert_eq!(m.all_gather(600, 0), 10.0); // ceil(log2 600) = 10
+    }
+}

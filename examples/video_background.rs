@@ -1,0 +1,87 @@
+//! Background subtraction in video via NMF (the paper's Video use case,
+//! §6.1.1): the low-rank product `W·H` captures the static background,
+//! and the residual `A − WH` isolates the moving object.
+//!
+//! The video is synthetic — a static rank-3 scene plus a small bright
+//! block sweeping across the frame — standing in for the paper's Georgia
+//! Tech intersection recording (which we obviously cannot ship).
+//!
+//! ```sh
+//! cargo run --release --example video_background
+//! ```
+
+use hpc_nmf::prelude::*;
+use nmf_data::DatasetKind;
+use nmf_matrix::matmul;
+
+fn main() {
+    // ~10,134 pixels × 24 frames (paper dims divided by 100; still tall
+    // and skinny, the regime the paper's 1D grid targets).
+    let data = DatasetKind::Video.build(100, 77);
+    let (m, n) = data.input.shape();
+    println!("synthetic video: {m} pixels x {n} frames");
+
+    let p = 8;
+    let grid = Algo::Hpc2D.grid(m, n, p);
+    println!(
+        "optimal grid for this aspect ratio: {}x{} ({})",
+        grid.pr,
+        grid.pc,
+        if grid.pc == 1 { "1D, as the paper prescribes for tall-skinny" } else { "2D" }
+    );
+
+    // Background model of rank 3 (the planted background rank).
+    let out = factorize(&data.input, p, Algo::Hpc2D, &NmfConfig::new(3).with_max_iters(25));
+    println!("background model fit: relative error {:.3}", out.rel_error);
+
+    // Foreground = residual. The moving object is the brightest residual
+    // run in each frame; check that its detected position sweeps
+    // monotonically like the planted object does.
+    let Input::Dense(a) = &data.input else { unreachable!("video is dense") };
+    let background = matmul(&out.w, &out.h);
+    let mut positions = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut best_pixel = 0;
+        let mut best_val = f64::NEG_INFINITY;
+        for i in 0..m {
+            let resid = a[(i, t)] - background[(i, t)];
+            if resid > best_val {
+                best_val = resid;
+                best_pixel = i;
+            }
+        }
+        positions.push(best_pixel);
+    }
+
+    let monotone_steps =
+        positions.windows(2).filter(|w| w[1] >= w[0].saturating_sub(m / 50)).count();
+    println!(
+        "detected object position sweeps forward in {}/{} frame transitions",
+        monotone_steps,
+        n - 1
+    );
+    println!(
+        "object travels pixel {} -> {} over {} frames",
+        positions.first().unwrap(),
+        positions.last().unwrap(),
+        n
+    );
+
+    // Summarize foreground energy vs background energy.
+    let resid_energy: f64 = (0..m)
+        .flat_map(|i| (0..n).map(move |t| (i, t)))
+        .map(|(i, t)| {
+            let r = a[(i, t)] - background[(i, t)];
+            r * r
+        })
+        .sum();
+    println!(
+        "foreground (residual) energy fraction: {:.4}",
+        resid_energy / a.fro_norm_sq()
+    );
+    assert!(
+        monotone_steps as f64 >= 0.9 * (n - 1) as f64,
+        "moving object should be recovered by the residual"
+    );
+    println!("OK: background/foreground separation recovered the moving object");
+}

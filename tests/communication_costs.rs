@@ -1,0 +1,179 @@
+//! Table 2 reproduction: the *counted* per-iteration communication of
+//! each algorithm must match the paper's analytic formulas.
+//!
+//! | Algorithm | Words per iteration (per rank) | Messages |
+//! |---|---|---|
+//! | Naive | `O((m+n)k)` | `O(log p)` |
+//! | HPC-NMF (m/p > n) | `O(nk)` | `O(log p)` |
+//! | HPC-NMF (m/p < n) | `O(√(mnk²/p))` | `O(log p)` |
+//!
+//! The virtual MPI counts every word each rank actually sends, so for
+//! power-of-two grids the comparison is *exact*, not asymptotic:
+//!
+//! * all-gather of total `n` words over `q` ranks sends `((q−1)/q)·n`;
+//! * reduce-scatter likewise;
+//! * all-reduce sends `2·((q−1)/q)·n` (Rabenseifner).
+
+use hpc_nmf::prelude::*;
+use hpc_nmf::total_comm;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_vmpi::Op;
+
+fn run(m: usize, n: usize, k: usize, p: usize, algo: Algo, iters: usize) -> NmfOutput {
+    let input = Input::Dense(Mat::uniform(m, n, 42));
+    factorize(&input, p, algo, &NmfConfig::new(k).with_max_iters(iters))
+}
+
+/// Exact per-rank words for an all-gather of `total` words over `q` ranks
+/// with equal blocks.
+fn ag_words(q: usize, total: usize) -> u64 {
+    ((q - 1) * (total / q)) as u64
+}
+
+#[test]
+fn hpc_2d_all_gather_words_match_formula() {
+    // 2 iterations on a 4x4 grid with dims divisible by everything.
+    let (m, n, k, p, iters) = (64, 32, 4, 16, 2);
+    let grid = Grid::new(4, 4);
+    let out = run(m, n, k, p, Algo::HpcGrid(grid), iters);
+    // Per iteration, each rank all-gathers its n/p×k H-slice over the
+    // grid column (pr ranks, total (n/pc)·k words) and its m/p×k W-slice
+    // over the grid row (pc ranks, total (m/pr)·k words).
+    let per_iter = ag_words(grid.pr, n / grid.pc * k) + ag_words(grid.pc, m / grid.pr * k);
+    for s in &out.rank_comm {
+        assert_eq!(s.op(Op::AllGather).words, per_iter * iters as u64);
+    }
+}
+
+#[test]
+fn hpc_2d_reduce_scatter_words_match_formula() {
+    let (m, n, k, p, iters) = (64, 32, 4, 16, 2);
+    let grid = Grid::new(4, 4);
+    let out = run(m, n, k, p, Algo::HpcGrid(grid), iters);
+    // Reduce-scatter of V (m/pr × k) over the grid row and of Y
+    // (n/pc × k) over the grid column.
+    let per_iter = ag_words(grid.pc, m / grid.pr * k) + ag_words(grid.pr, n / grid.pc * k);
+    for s in &out.rank_comm {
+        assert_eq!(s.op(Op::ReduceScatter).words, per_iter * iters as u64);
+    }
+}
+
+#[test]
+fn hpc_all_reduce_words_match_formula() {
+    let (m, n, k, p, iters) = (64, 32, 4, 16, 3);
+    let out = run(m, n, k, p, Algo::HpcGrid(Grid::new(4, 4)), iters);
+    // Per iteration: two k×k Gram all-reduces + one 2-word objective
+    // all-reduce + the one-time ‖A‖² scalar all-reduce.
+    // Rabenseifner sends 2·((p−1)/p)·words per rank, exact when p | words.
+    let kk = (k * k) as f64;
+    let frac = (p - 1) as f64 / p as f64;
+    let expected_gram = 2.0 * frac * kk * 2.0 * iters as f64;
+    for s in &out.rank_comm {
+        let words = s.op(Op::AllReduce).words as f64;
+        // Gram all-reduces dominate; the scalar ones add < 4 words/iter
+        // plus fold overhead for the tiny payloads.
+        assert!(
+            words >= expected_gram && words <= expected_gram + 16.0 * (iters as f64 + 1.0),
+            "all-reduce words {words} vs expected ~{expected_gram}"
+        );
+    }
+}
+
+#[test]
+fn naive_all_gather_words_match_formula() {
+    let (m, n, k, p, iters) = (64, 32, 4, 8, 2);
+    let out = run(m, n, k, p, Algo::Naive, iters);
+    // Per iteration each rank all-gathers all of H (n·k words) and all
+    // of W (m·k words).
+    let per_iter = ag_words(p, n * k) + ag_words(p, m * k);
+    for s in &out.rank_comm {
+        assert_eq!(s.op(Op::AllGather).words, per_iter * iters as u64);
+        assert_eq!(s.op(Op::ReduceScatter).words, 0, "Naive performs no reduce-scatter");
+    }
+}
+
+#[test]
+fn messages_are_logarithmic_in_p() {
+    let (m, n, k) = (128, 96, 4);
+    for p in [4usize, 16] {
+        let out = run(m, n, k, p, Algo::Hpc2D, 2);
+        for s in &out.rank_comm {
+            let msgs = s.total_messages();
+            // 6 collectives/iter (+objective+setup), each O(log p) with a
+            // small constant: bound messages by 40·log2(p)+40 per iter.
+            let lg = (p as f64).log2().ceil() as u64;
+            let bound = (40 * lg + 40) * 2;
+            assert!(msgs <= bound, "p={p}: {msgs} messages exceeds O(log p) bound {bound}");
+        }
+    }
+}
+
+#[test]
+fn hpc_2d_communicates_less_than_naive_squarish() {
+    // The headline claim: for squarish matrices HPC-NMF-2D moves
+    // asymptotically less data than Naive.
+    // Dimensions large enough that the O(k²) all-reduce terms are
+    // negligible next to the O(√(mnk²/p)) factor-matrix traffic.
+    let (m, n, k, p) = (240, 240, 4, 16);
+    let naive = run(m, n, k, p, Algo::Naive, 3);
+    let hpc2d = run(m, n, k, p, Algo::Hpc2D, 3);
+    let naive_words = total_comm(&naive).total_words();
+    let hpc_words = total_comm(&hpc2d).total_words();
+    assert!(
+        (hpc_words as f64) < 0.5 * naive_words as f64,
+        "HPC-NMF-2D ({hpc_words} words) should communicate far less than Naive ({naive_words})"
+    );
+}
+
+#[test]
+fn hpc_1d_beats_2d_on_tall_skinny_bandwidth() {
+    // For m/p > n the paper's optimal grid is 1D: O(nk) words beats the
+    // 2D grid's row-dimension terms.
+    let (m, n, k, p) = (512, 16, 4, 8);
+    let oned = run(m, n, k, p, Algo::Hpc1D, 2);
+    let square = run(m, n, k, p, Algo::HpcGrid(Grid::new(4, 2)), 2);
+    let w1 = total_comm(&oned).total_words();
+    let w2 = total_comm(&square).total_words();
+    assert!(w1 < w2, "1D grid ({w1} words) should beat 2D ({w2}) on tall-skinny input");
+}
+
+#[test]
+fn sparse_and_dense_costs_are_identical() {
+    // §5: "the communication costs of Algorithm 3 are the same for dense
+    // and sparse data matrices (the data matrix itself is never
+    // communicated)".
+    let (m, n, k, p) = (48, 48, 3, 4);
+    let dense = {
+        let a = Input::Dense(Mat::uniform(m, n, 7));
+        factorize(&a, p, Algo::Hpc2D, &NmfConfig::new(k).with_max_iters(2))
+    };
+    let sparse = {
+        let a = Input::Sparse(nmf_sparse::gen::erdos_renyi(m, n, 0.1, 7));
+        factorize(&a, p, Algo::Hpc2D, &NmfConfig::new(k).with_max_iters(2))
+    };
+    for (d, s) in dense.rank_comm.iter().zip(&sparse.rank_comm) {
+        assert_eq!(d.total_words(), s.total_words());
+        assert_eq!(d.total_messages(), s.total_messages());
+    }
+}
+
+#[test]
+fn communication_is_independent_of_solver() {
+    // The collective pattern is fixed by the algorithm, not the NLS
+    // method.
+    let (m, n, k, p) = (48, 36, 3, 6);
+    let input = Input::Dense(Mat::uniform(m, n, 8));
+    let mut words = Vec::new();
+    for solver in SolverKind::ALL {
+        let out = factorize(
+            &input,
+            p,
+            Algo::Hpc2D,
+            &NmfConfig::new(k).with_max_iters(3).with_solver(solver),
+        );
+        words.push(total_comm(&out).total_words());
+    }
+    assert_eq!(words[0], words[1]);
+    assert_eq!(words[1], words[2]);
+}

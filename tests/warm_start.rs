@@ -1,0 +1,75 @@
+//! Warm-start (incremental) factorization tests: the paper's streaming
+//! video scenario (§6.1.1) — when new data arrives, restarting ANLS from
+//! the previous factors should converge much faster than a cold start.
+
+use hpc_nmf::prelude::*;
+use hpc_nmf::{factorize_from, init_ht};
+use nmf_matrix::rng::Fill;
+use nmf_matrix::{matmul, Mat};
+
+/// A "video" whose background drifts slightly between two windows.
+fn window(m: usize, n: usize, k: usize, drift: f64, seed: u64) -> Input {
+    let w = Mat::uniform(m, k, seed);
+    let h = Mat::uniform(k, n, seed + 1);
+    let mut a = matmul(&w, &h);
+    let noise = Mat::uniform(m, n, seed + 2);
+    for (av, nv) in a.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+        *av += drift * nv;
+    }
+    Input::Dense(a)
+}
+
+#[test]
+fn warm_start_converges_faster_than_cold() {
+    let (m, n, k) = (60, 40, 4);
+    let config = NmfConfig::new(k).with_max_iters(25);
+    // Fit window 1 from scratch.
+    let first = factorize(&window(m, n, k, 0.0, 10), 4, Algo::Hpc2D, &config);
+
+    // Window 2: same planted structure, small drift.
+    let second = window(m, n, k, 0.05, 10);
+    let budget = NmfConfig::new(k).with_max_iters(3);
+    let cold = factorize(&second, 4, Algo::Hpc2D, &budget);
+    let mut ht_prev = first.h.transpose();
+    // Previous factors may contain exact zeros; keep them valid inits.
+    ht_prev.project_nonnegative();
+    let warm = factorize_from(&second, 4, Algo::Hpc2D, &budget, first.w.clone(), ht_prev);
+    assert!(
+        warm.objective < cold.objective,
+        "warm start ({}) should beat cold start ({}) on a small budget",
+        warm.objective,
+        cold.objective
+    );
+}
+
+#[test]
+fn warm_start_is_consistent_across_drivers() {
+    let (m, n, k) = (36, 28, 3);
+    let input = window(m, n, k, 0.1, 20);
+    let w0 = Mat::uniform(m, k, 21);
+    let ht0 = init_ht(n, k, 22);
+    let config = NmfConfig::new(k).with_max_iters(4);
+    let seq = factorize_from(&input, 1, Algo::Sequential, &config, w0.clone(), ht0.clone());
+    for (p, algo) in [(4usize, Algo::Hpc2D), (3, Algo::Naive), (2, Algo::Hpc1D)] {
+        let par = factorize_from(&input, p, algo, &config, w0.clone(), ht0.clone());
+        assert!(
+            par.w.max_abs_diff(&seq.w) < 1e-8 && par.h.max_abs_diff(&seq.h) < 1e-8,
+            "{} warm start diverged from sequential",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "w0 shape mismatch")]
+fn warm_start_validates_shapes() {
+    let input = window(20, 15, 3, 0.0, 30);
+    let _ = factorize_from(
+        &input,
+        2,
+        Algo::Hpc2D,
+        &NmfConfig::new(3),
+        Mat::zeros(5, 3),
+        Mat::zeros(15, 3),
+    );
+}
