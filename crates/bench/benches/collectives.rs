@@ -8,23 +8,31 @@ use std::time::Duration;
 
 fn bench_all_gather(c: &mut Criterion) {
     let mut g = c.benchmark_group("all_gather");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for &(p, words) in &[(8usize, 4096usize), (16, 4096)] {
-        g.bench_with_input(BenchmarkId::new("bruck", format!("p{p}_n{words}")), &(), |b, ()| {
-            b.iter(|| {
-                universe::run(p, |comm| {
-                    let mine = vec![comm.rank() as f64; words / comm.size()];
-                    comm.all_gather(&mine).len()
+        g.bench_with_input(
+            BenchmarkId::new("bruck", format!("p{p}_n{words}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    universe::run(p, |comm| {
+                        let mine = vec![comm.rank() as f64; words / comm.size()];
+                        comm.all_gather(&mine).len()
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_reduce_scatter(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduce_scatter");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for &p in &[8usize, 16] {
         let words = 8192usize;
         g.bench_with_input(BenchmarkId::new("halving", p), &(), |b, ()| {
@@ -51,29 +59,44 @@ fn bench_reduce_scatter(c: &mut Criterion) {
 
 fn bench_all_reduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("all_reduce");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     // k×k Gram payloads: the algorithm's actual all-reduce size.
     for &k in &[10usize, 50] {
         let words = k * k;
-        g.bench_with_input(BenchmarkId::new("rabenseifner", format!("k{k}")), &(), |b, ()| {
-            b.iter(|| {
-                universe::run(8, |comm| {
-                    let data = vec![comm.rank() as f64; words];
-                    comm.all_reduce(&data).len()
+        g.bench_with_input(
+            BenchmarkId::new("rabenseifner", format!("k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    universe::run(8, |comm| {
+                        let data = vec![comm.rank() as f64; words];
+                        comm.all_reduce(&data).len()
+                    })
                 })
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("binomial_tree", format!("k{k}")), &(), |b, ()| {
-            b.iter(|| {
-                universe::run(8, |comm| {
-                    let data = vec![comm.rank() as f64; words];
-                    comm.all_reduce_tree(&data).len()
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("binomial_tree", format!("k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    universe::run(8, |comm| {
+                        let data = vec![comm.rank() as f64; words];
+                        comm.all_reduce_tree(&data).len()
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_all_gather, bench_reduce_scatter, bench_all_reduce);
+criterion_group!(
+    benches,
+    bench_all_gather,
+    bench_reduce_scatter,
+    bench_all_reduce
+);
 criterion_main!(benches);

@@ -4,35 +4,49 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nmf_matrix::rng::Fill;
-use nmf_matrix::{gram, matmul, matmul_ta, outer_gram, Mat};
+use nmf_matrix::{gram, matmul, matmul_ikj, matmul_par, matmul_ta, outer_gram, Mat};
 use nmf_sparse::gen::erdos_renyi;
-use nmf_sparse::{spmm_at_dense, spmm_dense_t};
+use nmf_sparse::{spmm_at_dense, spmm_at_dense_par, spmm_dense_t, spmm_dense_t_par};
 use std::time::Duration;
 
 fn bench_dense_mm(c: &mut Criterion) {
     let mut g = c.benchmark_group("dense_mm");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     // A_ij · Hⱼᵀ: (m/pr × n/pc) times (n/pc × k).
-    for &(m, n, k) in &[(512usize, 512usize, 16usize), (512, 512, 64), (2048, 64, 16)] {
+    for &(m, n, k) in &[
+        (512usize, 512usize, 16usize),
+        (512, 512, 64),
+        (2048, 64, 16),
+    ] {
         let a = Mat::uniform(m, n, 1);
         let ht = Mat::uniform(n, k, 2);
         g.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        g.bench_with_input(BenchmarkId::new("a_ht", format!("{m}x{n}x{k}")), &(), |b, ()| {
-            b.iter(|| matmul(&a, &ht))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("a_ht", format!("{m}x{n}x{k}")),
+            &(),
+            |b, ()| b.iter(|| matmul(&a, &ht)),
+        );
         let w = Mat::uniform(m, k, 3);
-        g.bench_with_input(BenchmarkId::new("at_w", format!("{m}x{n}x{k}")), &(), |b, ()| {
-            b.iter(|| matmul_ta(&a, &w))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("at_w", format!("{m}x{n}x{k}")),
+            &(),
+            |b, ()| b.iter(|| matmul_ta(&a, &w)),
+        );
     }
     g.finish();
 }
 
 fn bench_sparse_mm(c: &mut Criterion) {
     let mut g = c.benchmark_group("sparse_mm");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
-    for &(m, n, density, k) in &[(4096usize, 4096usize, 0.001f64, 16usize), (4096, 4096, 0.01, 16)]
-    {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
+    for &(m, n, density, k) in &[
+        (4096usize, 4096usize, 0.001f64, 16usize),
+        (4096, 4096, 0.01, 16),
+    ] {
         let a = erdos_renyi(m, n, density, 4);
         let ht = Mat::uniform(n, k, 5);
         let w = Mat::uniform(m, k, 6);
@@ -50,7 +64,9 @@ fn bench_sparse_mm(c: &mut Criterion) {
 
 fn bench_gram(c: &mut Criterion) {
     let mut g = c.benchmark_group("gram");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for &(r, k) in &[(4096usize, 16usize), (4096, 64)] {
         let x = Mat::uniform(r, k, 7);
         g.throughput(Throughput::Elements((r * k * k) as u64));
@@ -65,5 +81,70 @@ fn bench_gram(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dense_mm, bench_sparse_mm, bench_gram);
+/// The PR-1 acceptance comparison: cache-blocked GEMM vs the seed's
+/// unblocked `ikj` kernel, on the shapes the drivers hit (the 512×512,
+/// k=32 case is the recorded baseline), plus the rayon row-parallel
+/// variant for the standalone path.
+fn bench_gemm_blocked_vs_ikj(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_blocked_vs_ikj");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &(m, n, k) in &[
+        (512usize, 512usize, 32usize),
+        (512, 512, 64),
+        (2048, 64, 16),
+    ] {
+        let a = Mat::uniform(m, n, 1);
+        let ht = Mat::uniform(n, k, 2);
+        let label = format!("{m}x{n}x{k}");
+        g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked", &label), &(), |b, ()| {
+            b.iter(|| matmul(&a, &ht))
+        });
+        g.bench_with_input(BenchmarkId::new("ikj_seed", &label), &(), |b, ()| {
+            b.iter(|| matmul_ikj(&a, &ht))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_par", &label), &(), |b, ()| {
+            b.iter(|| matmul_par(&a, &ht))
+        });
+    }
+    g.finish();
+}
+
+/// Row-parallel SpMM vs serial, standalone-path shapes.
+fn bench_sparse_mm_par(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_mm_par");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
+    let (m, n, density, k) = (4096usize, 4096usize, 0.01f64, 16usize);
+    let a = erdos_renyi(m, n, density, 4);
+    let ht = Mat::uniform(n, k, 5);
+    let w = Mat::uniform(m, k, 6);
+    g.throughput(Throughput::Elements((2 * a.nnz() * k) as u64));
+    let label = format!("{m}x{n}_d{density}_k{k}");
+    g.bench_with_input(BenchmarkId::new("a_ht_serial", &label), &(), |b, ()| {
+        b.iter(|| spmm_dense_t(&a, &ht))
+    });
+    g.bench_with_input(BenchmarkId::new("a_ht_par", &label), &(), |b, ()| {
+        b.iter(|| spmm_dense_t_par(&a, &ht))
+    });
+    g.bench_with_input(BenchmarkId::new("at_w_serial", &label), &(), |b, ()| {
+        b.iter(|| spmm_at_dense(&a, &w))
+    });
+    g.bench_with_input(BenchmarkId::new("at_w_par", &label), &(), |b, ()| {
+        b.iter(|| spmm_at_dense_par(&a, &w))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_mm,
+    bench_sparse_mm,
+    bench_gram,
+    bench_gemm_blocked_vs_ikj,
+    bench_sparse_mm_par
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_dense_iteration(c: &mut Criterion) {
     let mut g = c.benchmark_group("nmf_iter_dense");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let input = Input::Dense(Mat::uniform(720, 480, 31));
     let k = 16;
     let config = NmfConfig::new(k).with_max_iters(2);
@@ -30,7 +32,9 @@ fn bench_dense_iteration(c: &mut Criterion) {
 
 fn bench_sparse_iteration(c: &mut Criterion) {
     let mut g = c.benchmark_group("nmf_iter_sparse");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let input = Input::Sparse(erdos_renyi(2880, 1920, 0.02, 32));
     let k = 16;
     let config = NmfConfig::new(k).with_max_iters(2);

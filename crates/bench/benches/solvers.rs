@@ -15,7 +15,9 @@ fn instance(r: usize, k: usize, seed: u64) -> (Mat, Mat) {
 
 fn bench_solvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("nls_solvers");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for &(r, k) in &[(2048usize, 16usize), (2048, 50)] {
         let (gr, ctb) = instance(r, k, 11);
         let label = format!("r{r}_k{k}");
@@ -40,11 +42,16 @@ fn bench_solvers(c: &mut Criterion) {
 
 fn bench_bpp_grouping(c: &mut Criterion) {
     let mut g = c.benchmark_group("bpp_grouping");
-    g.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let (r, k) = (2048usize, 32usize);
     let (gr, ctb) = instance(r, k, 21);
     g.bench_function("grouped", |b| {
-        let solver = Bpp { group_columns: true, ..Bpp::default() };
+        let mut solver = Bpp {
+            group_columns: true,
+            ..Bpp::default()
+        };
         b.iter(|| {
             let mut x = Mat::zeros(r, k);
             solver.update(&gr, &ctb, &mut x);
@@ -52,7 +59,10 @@ fn bench_bpp_grouping(c: &mut Criterion) {
         })
     });
     g.bench_function("rowwise", |b| {
-        let solver = Bpp { group_columns: false, ..Bpp::default() };
+        let mut solver = Bpp {
+            group_columns: false,
+            ..Bpp::default()
+        };
         b.iter(|| {
             let mut x = Mat::zeros(r, k);
             solver.update(&gr, &ctb, &mut x);

@@ -15,7 +15,10 @@ use nmf_matrix::rng::Fill;
 use nmf_matrix::Mat;
 
 fn divisor_grids(p: usize) -> Vec<Grid> {
-    (1..=p).filter(|pr| p % pr == 0).map(|pr| Grid::new(pr, p / pr)).collect()
+    (1..=p)
+        .filter(|pr| p.is_multiple_of(*pr))
+        .map(|pr| Grid::new(pr, p / pr))
+        .collect()
 }
 
 fn main() {
@@ -23,8 +26,10 @@ fn main() {
     let k = 8usize;
     let iters = 3usize;
 
-    for (label, m, n) in [("squarish 320x240", 320usize, 240usize), ("tall-skinny 2048x48", 2048, 48)]
-    {
+    for (label, m, n) in [
+        ("squarish 320x240", 320usize, 240usize),
+        ("tall-skinny 2048x48", 2048, 48),
+    ] {
         println!("\n=== grid sweep on {label}, p={p}, k={k} (measured words/rank/iter) ===");
         let input = Input::Dense(Mat::uniform(m, n, 5));
         let optimal = Grid::optimal(m, n, p);
@@ -37,9 +42,16 @@ fn main() {
                 &NmfConfig::new(k).with_max_iters(iters),
             );
             let words = total_comm(&out).total_words() / p as u64 / iters as u64;
-            let marker = if grid == optimal { "  <- Grid::optimal" } else { "" };
-            println!("  {:>2} x {:<2} {:>10} words{marker}", grid.pr, grid.pc, words);
-            if best.map_or(true, |(_, w)| words < w) {
+            let marker = if grid == optimal {
+                "  <- Grid::optimal"
+            } else {
+                ""
+            };
+            println!(
+                "  {:>2} x {:<2} {:>10} words{marker}",
+                grid.pr, grid.pc, words
+            );
+            if best.is_none_or(|(_, w)| words < w) {
                 best = Some((grid, words));
             }
         }
@@ -56,7 +68,11 @@ fn main() {
     let optimal = Grid::optimal(w.m, w.n, 600);
     for grid in divisor_grids(600) {
         let b = pm.hpc(&w, grid);
-        let marker = if grid == optimal { "  <- Grid::optimal" } else { "" };
+        let marker = if grid == optimal {
+            "  <- Grid::optimal"
+        } else {
+            ""
+        };
         println!(
             "  {:>3} x {:<3} comm {:>8.4}s  total {:>8.4}s{marker}",
             grid.pr,

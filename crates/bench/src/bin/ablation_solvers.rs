@@ -20,7 +20,12 @@ fn main() {
     for kind in [DatasetKind::Ssyn, DatasetKind::Dsyn] {
         let data = measured_dataset(kind, 45);
         let (m, n) = data.input.shape();
-        println!("\n=== solver ablation on {} {}x{} (p={p}, k={k}) ===", kind.name(), m, n);
+        println!(
+            "\n=== solver ablation on {} {}x{} (p={p}, k={k}) ===",
+            kind.name(),
+            m,
+            n
+        );
         println!(
             "{:<6} {:>12} {:>12} {:>14} {:>14} {:>10}",
             "solver", "iters", "sec/iter", "objective", "rel_error", "comm %"
@@ -40,8 +45,11 @@ fn main() {
                 .iter()
                 .map(|r| r.comm.total_time().as_secs_f64())
                 .sum();
-            let compute_time: f64 =
-                out.iters.iter().map(|r| r.compute.total().as_secs_f64()).sum();
+            let compute_time: f64 = out
+                .iters
+                .iter()
+                .map(|r| r.compute.total().as_secs_f64())
+                .sum();
             let comm_pct = 100.0 * comm_time / (comm_time + compute_time).max(1e-12);
             println!(
                 "{:<6} {:>12} {:>12.4} {:>14.6e} {:>14.4} {:>9.1}%",
@@ -54,7 +62,11 @@ fn main() {
             );
             results.push((solver, out.objective));
         }
-        let bpp = results.iter().find(|(s, _)| *s == SolverKind::Bpp).unwrap().1;
+        let bpp = results
+            .iter()
+            .find(|(s, _)| *s == SolverKind::Bpp)
+            .unwrap()
+            .1;
         let best_cheap = results
             .iter()
             .filter(|(s, _)| *s != SolverKind::Bpp)

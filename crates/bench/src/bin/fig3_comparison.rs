@@ -55,11 +55,19 @@ fn main() {
                 ));
             }
         }
-        print_table(&format!("{} {}x{} modeled, p=600", kind.name(), m, n), " (modeled)", &rows);
+        print_table(
+            &format!("{} {}x{} modeled, p=600", kind.name(), m, n),
+            " (modeled)",
+            &rows,
+        );
 
         // Headline ratio at k = 10 (the paper reports up to 4.4x on SSYN).
         let naive = model_row(&pm, kind, Algo::Naive, 600, 10).total();
         let hpc2d = model_row(&pm, kind, Algo::Hpc2D, 600, 10).total();
-        println!("{}: Naive/HPC-2D speedup at k=10: {:.1}x", kind.name(), naive / hpc2d);
+        println!(
+            "{}: Naive/HPC-2D speedup at k=10: {:.1}x",
+            kind.name(),
+            naive / hpc2d
+        );
     }
 }

@@ -75,7 +75,11 @@ fn main() {
                 ));
             }
         }
-        print_table(&format!("{} modeled, k={k}", kind.name()), " (modeled)", &rows);
+        print_table(
+            &format!("{} modeled, k={k}", kind.name()),
+            " (modeled)",
+            &rows,
+        );
 
         let naive24 = model_row(&pm, kind, Algo::Naive, 24, k).total();
         let naive600 = model_row(&pm, kind, Algo::Naive, 600, k).total();

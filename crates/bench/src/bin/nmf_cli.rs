@@ -175,8 +175,10 @@ fn main() {
             exit(2);
         }
     };
-    let mut config =
-        NmfConfig::new(args.k).with_max_iters(args.iters).with_solver(solver).with_seed(args.seed);
+    let mut config = NmfConfig::new(args.k)
+        .with_max_iters(args.iters)
+        .with_solver(solver)
+        .with_seed(args.seed);
     if let Some(t) = args.tol {
         config = config.with_tol(t);
     }
@@ -212,7 +214,12 @@ fn main() {
         println!("\ncommunication (all ranks):");
         for op in [Op::AllGather, Op::ReduceScatter, Op::AllReduce] {
             let s = comm.op(op);
-            println!("  {:<15} {:>12} words {:>8} msgs", op.name(), s.words, s.messages);
+            println!(
+                "  {:<15} {:>12} words {:>8} msgs",
+                op.name(),
+                s.words,
+                s.messages
+            );
         }
     }
 }

@@ -47,13 +47,55 @@ fn main() {
     println!("Table 2 check: counted vs analytic per-iteration communication\n");
     let iters = 4usize;
     let cases = [
-        Case { m: 240, n: 160, k: 8, p: 16, algo: Algo::Hpc2D },
-        Case { m: 240, n: 160, k: 8, p: 16, algo: Algo::Hpc1D },
-        Case { m: 240, n: 160, k: 8, p: 16, algo: Algo::Naive },
-        Case { m: 480, n: 480, k: 10, p: 16, algo: Algo::Hpc2D },
-        Case { m: 480, n: 480, k: 10, p: 16, algo: Algo::Naive },
-        Case { m: 2048, n: 32, k: 4, p: 8, algo: Algo::Hpc2D }, // tall-skinny -> 1D
-        Case { m: 240, n: 160, k: 8, p: 12, algo: Algo::Hpc2D }, // non-power-of-two
+        Case {
+            m: 240,
+            n: 160,
+            k: 8,
+            p: 16,
+            algo: Algo::Hpc2D,
+        },
+        Case {
+            m: 240,
+            n: 160,
+            k: 8,
+            p: 16,
+            algo: Algo::Hpc1D,
+        },
+        Case {
+            m: 240,
+            n: 160,
+            k: 8,
+            p: 16,
+            algo: Algo::Naive,
+        },
+        Case {
+            m: 480,
+            n: 480,
+            k: 10,
+            p: 16,
+            algo: Algo::Hpc2D,
+        },
+        Case {
+            m: 480,
+            n: 480,
+            k: 10,
+            p: 16,
+            algo: Algo::Naive,
+        },
+        Case {
+            m: 2048,
+            n: 32,
+            k: 4,
+            p: 8,
+            algo: Algo::Hpc2D,
+        }, // tall-skinny -> 1D
+        Case {
+            m: 240,
+            n: 160,
+            k: 8,
+            p: 12,
+            algo: Algo::Hpc2D,
+        }, // non-power-of-two
     ];
 
     println!(
@@ -62,7 +104,12 @@ fn main() {
     );
     for c in &cases {
         let input = Input::Dense(Mat::uniform(c.m, c.n, 7));
-        let out = factorize(&input, c.p, c.algo, &NmfConfig::new(c.k).with_max_iters(iters));
+        let out = factorize(
+            &input,
+            c.p,
+            c.algo,
+            &NmfConfig::new(c.k).with_max_iters(iters),
+        );
         // Max over ranks of per-iteration words (critical path), from
         // the last iteration's delta records.
         let counted: f64 = out

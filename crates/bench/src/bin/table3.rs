@@ -10,12 +10,15 @@
 //! cargo run --release -p nmf-bench --bin table3
 //! ```
 
-
 use nmf_bench::{measure, measured_dataset, model_row, PAPER_ALGOS};
 use nmf_data::{DatasetKind, PerfModel};
 
-const DATASETS: [DatasetKind; 4] =
-    [DatasetKind::Dsyn, DatasetKind::Ssyn, DatasetKind::Video, DatasetKind::Webbase];
+const DATASETS: [DatasetKind; 4] = [
+    DatasetKind::Dsyn,
+    DatasetKind::Ssyn,
+    DatasetKind::Video,
+    DatasetKind::Webbase,
+];
 
 fn main() {
     let k = 50usize;
@@ -28,7 +31,10 @@ fn main() {
     print!("{:<8}", "cores");
     for algo in PAPER_ALGOS {
         for kind in DATASETS {
-            print!(" {:>13}", format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name()));
+            print!(
+                " {:>13}",
+                format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name())
+            );
         }
     }
     println!();
@@ -54,7 +60,10 @@ fn main() {
     print!("{:<8}", "ranks");
     for algo in PAPER_ALGOS {
         for kind in DATASETS {
-            print!(" {:>13}", format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name()));
+            print!(
+                " {:>13}",
+                format!("{}/{}", algo.name().replace("HPC-NMF-", ""), kind.name())
+            );
         }
     }
     println!();

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: `Criterion`, benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros (benches are built
+//! with `harness = false`, exactly as with real criterion).
+//!
+//! Methodology: each benchmark is warmed up for the configured warm-up
+//! time, then timed in batches until the measurement time elapses; the
+//! reported statistic is the median of per-batch mean iteration times,
+//! which is robust to scheduler noise. No plotting, no statistical
+//! regression — numbers print to stdout as `group/id  <time>/iter`, and
+//! when the `CRITERION_JSON` environment variable names a file, one JSON
+//! line per benchmark (`{"group","id","ns_per_iter","iters","throughput"}`)
+//! is appended so scripts can collect machine-readable baselines.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Label for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_id.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (recorded in the JSON line; not used to scale
+/// the printed time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        // Route through the group path so configuration and reporting
+        // stay in one place; the group prefix is suppressed for bare
+        // bench_function calls by using the id directly.
+        g.name = String::new();
+        g.run_one(id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            results: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        let ns = b.median_ns();
+        println!(
+            "{full:<50} {:>14}/iter  ({} iters)",
+            format_ns(ns),
+            b.total_iters
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let tp = match self.throughput {
+                    Some(Throughput::Elements(e)) => format!(",\"elements\":{e}"),
+                    Some(Throughput::Bytes(by)) => format!(",\"bytes\":{by}"),
+                    None => String::new(),
+                };
+                let line = format!(
+                    "{{\"benchmark\":\"{full}\",\"ns_per_iter\":{ns:.1},\"iters\":{}{tp}}}\n",
+                    b.total_iters
+                );
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = file.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Per-benchmark timing driver (`b.iter(...)`).
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    results: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the routine's return value is passed
+    /// through [`black_box`] so its computation cannot be elided.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also calibrating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size batches so `samples` batches fill the measurement time.
+        let per_batch = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch_iters = ((per_batch / per_iter.max(1e-12)) as u64).max(1);
+
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.results.push(dt * 1e9 / batch_iters as f64);
+            self.total_iters += batch_iters;
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.results.is_empty() {
+            return f64::NAN;
+        }
+        let mut v = self.results.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares the benchmark entry list, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` and test-harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "512x512").to_string(), "f/512x512");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

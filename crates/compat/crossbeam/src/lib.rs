@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel::unbounded`] is used by this workspace (the virtual-MPI
+//! transport mesh). Since Rust 1.67 `std::sync::mpsc` *is* the crossbeam
+//! channel implementation upstreamed into the standard library, so
+//! delegating to it preserves both semantics and performance; this module
+//! merely restores crossbeam's type names and its `Sender: Sync` clone
+//! semantics.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded FIFO channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded FIFO channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving half has disconnected.
+    pub type SendError<T> = mpsc::SendError<T>;
+
+    /// Error returned when the sending half has disconnected.
+    pub type RecvError = mpsc::RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    pub type TryRecvError = mpsc::TryRecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; never blocks (the channel is unbounded).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking until one arrives or every
+        /// sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_send() {
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || tx.send(42u64).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn disconnect_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

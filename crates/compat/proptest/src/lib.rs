@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest 1.x surface this workspace's
+//! property tests use: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` inner attribute), range strategies over
+//! integers and floats, [`collection::vec`] with fixed or ranged sizes,
+//! and the `prop_assert!` / `prop_assert_eq!` assertions.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its case index and seed so
+//!   it can be replayed, but is not minimized;
+//! * **Deterministic generation** — cases are derived from a fixed seed
+//!   (per test name and case index), so runs are reproducible without a
+//!   persistence file. Set `PROPTEST_CASES` to override the case count
+//!   globally.
+
+pub use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Configuration for a `proptest!` block (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Case count, honoring the `PROPTEST_CASES` environment override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Deterministic per-(test, case) generator.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of random values (no shrinking).
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `Just`-style constant strategy (occasionally handy in shims).
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.gen_range(self.clone())
+            }
+        }
+    }
+
+    /// Strategy for vectors of values from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a property test; failure panics with the
+/// formatted message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// The `proptest!` block macro: expands each contained
+/// `#[test] fn name(arg in strategy, ...) { body }` into a plain `#[test]`
+/// that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = __config.effective_cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )*
+                let __run = || $body;
+                if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (replay: deterministic by index)",
+                        __case + 1, __cases, stringify!($name),
+                    );
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -2.5f64..2.5, c in 0u32..7) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!(c < 7);
+        }
+
+        #[test]
+        fn vec_sizes_respected(fixed in vec(0usize..5, 6), ranged in vec(0.0f64..1.0, 2..5)) {
+            prop_assert_eq!(fixed.len(), 6);
+            prop_assert!(ranged.len() >= 2 && ranged.len() < 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0usize..1000;
+        let a: Vec<usize> = (0..10)
+            .map(|c| s.sample(&mut crate::test_rng("x", c)))
+            .collect();
+        let b: Vec<usize> = (0..10)
+            .map(|c| s.sample(&mut crate::test_rng("x", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -69,7 +69,10 @@ impl NmfConfig {
 
     /// Sets Frobenius regularization on both factors.
     pub fn with_l2(mut self, l2_w: f64, l2_h: f64) -> Self {
-        assert!(l2_w >= 0.0 && l2_h >= 0.0, "regularization must be nonnegative");
+        assert!(
+            l2_w >= 0.0 && l2_h >= 0.0,
+            "regularization must be nonnegative"
+        );
         self.l2_w = l2_w;
         self.l2_h = l2_h;
         self

@@ -113,7 +113,10 @@ mod tests {
                 for g in 0..total {
                     let o = d.owner(g);
                     let p = d.part(o);
-                    assert!(g >= p.offset && g < p.end(), "owner({g}) = {o} but part {p:?}");
+                    assert!(
+                        g >= p.offset && g < p.end(),
+                        "owner({g}) = {o} but part {p:?}"
+                    );
                 }
             }
         }

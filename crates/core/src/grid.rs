@@ -30,7 +30,7 @@ impl Grid {
         let mut best = Grid { pr: p, pc: 1 };
         let mut best_cost = f64::INFINITY;
         for pr in 1..=p {
-            if p % pr != 0 {
+            if !p.is_multiple_of(pr) {
                 continue;
             }
             let pc = p / pr;

@@ -105,7 +105,15 @@ fn factorize_naive(input: &Input, p: usize, config: &NmfConfig, w0: &Mat, ht0: &
         let col_block = input.block(0, cols.offset, m, cols.len);
         let w0_local = w0.rows_block(rows.offset, rows.len);
         let ht0_local = ht0.rows_block(cols.offset, cols.len);
-        naive_nmf_rank(comm, (m, n), &row_block, &col_block, w0_local, ht0_local, config)
+        naive_nmf_rank(
+            comm,
+            (m, n),
+            &row_block,
+            &col_block,
+            w0_local,
+            ht0_local,
+            config,
+        )
     });
 
     let w_offsets: Vec<usize> = (0..p).map(|r| dist_m.part(r).offset).collect();
@@ -158,7 +166,11 @@ fn assemble(
     let (m, n) = input.shape();
     let mut w = Mat::zeros(m, k);
     let mut ht = Mat::zeros(n, k);
-    let iterations = results.iter().map(|r| r.result.iters.len()).max().unwrap_or(0);
+    let iterations = results
+        .iter()
+        .map(|r| r.result.iters.len())
+        .max()
+        .unwrap_or(0);
     let mut iters: Vec<IterRecord> = Vec::with_capacity(iterations);
     let mut rank_comm = Vec::with_capacity(results.len());
     let objective = results[0].result.objective;
@@ -176,8 +188,7 @@ fn assemble(
                 agg.compute = agg.compute.max(&rec.compute);
                 agg.comm.max_merge(&rec.comm);
                 debug_assert!(
-                    (agg.objective - rec.objective).abs()
-                        <= 1e-9 * agg.objective.abs().max(1.0),
+                    (agg.objective - rec.objective).abs() <= 1e-9 * agg.objective.abs().max(1.0),
                     "objective must agree across ranks"
                 );
             }

@@ -10,13 +10,38 @@
 //! the `O(√(mnk²/p))`-word, `O(log p)`-message costs of Table 2.
 //!
 //! Line numbers in comments refer to Algorithm 3 in the paper.
+//!
+//! # Performance notes: the zero-allocation iteration loop
+//!
+//! The steady-state loop performs **no heap allocations in the compute
+//! path**. Three mechanisms combine to achieve that:
+//!
+//! 1. every per-iteration matrix — Grams, assembled factor blocks, `MM`
+//!    products, reduce-scatter outputs — lives in an [`IterWorkspace`]
+//!    allocated once before the loop and overwritten in place each
+//!    iteration ([`nmf_matrix::matmul_into`], `gram_into`,
+//!    `mm_a_ht_into`, …);
+//! 2. the collectives are the `_into` variants
+//!    ([`Comm::all_reduce_into`](nmf_vmpi::Comm::all_reduce_into) & co.),
+//!    which write into those workspace buffers and draw their own round
+//!    staging from a per-rank arena inside the communicator;
+//! 3. the NLS solvers hold their pivoting state and factorization
+//!    buffers in solver-owned scratch reused across iterations.
+//!
+//! What still allocates: the one-time setup (sub-communicators, counts,
+//! workspace), the per-iteration `IterRecord` bookkeeping pushed onto the
+//! result vector (instrumentation, reserved up front), and the message
+//! boxes inside the channel transport (the "interconnect" — a real MPI
+//! would hand those to the NIC). The Criterion suite
+//! `benches/nmf_iteration.rs` tracks the resulting per-iteration times.
 
 use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
 use crate::dist::Dist1D;
 use crate::grid::Grid;
 use crate::input::LocalMat;
 use crate::naive::RankNmfOutput;
-use nmf_matrix::gram::gram;
+use crate::workspace::IterWorkspace;
+use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_vmpi::Comm;
 use std::time::Instant;
@@ -28,6 +53,11 @@ use std::time::Instant;
 ///   (`≈ m/p × k`);
 /// * `ht0`   — this rank's `(Hⱼ)ᵢ` slice of the global `H` init, stored
 ///   transposed (`≈ n/p × k`).
+///
+/// Allocates an [`IterWorkspace`] and delegates to
+/// [`hpc_nmf_rank_with_workspace`]; callers running repeated
+/// factorizations (warm restarts, parameter sweeps) can hold the
+/// workspace themselves and skip even the setup allocations.
 pub fn hpc_nmf_rank(
     comm: &Comm,
     grid: Grid,
@@ -37,9 +67,36 @@ pub fn hpc_nmf_rank(
     ht0: Mat,
     config: &NmfConfig,
 ) -> RankNmfOutput {
+    let mut ws = IterWorkspace::for_hpc(
+        local.nrows(),
+        local.ncols(),
+        w0.nrows(),
+        ht0.nrows(),
+        config.k,
+    );
+    hpc_nmf_rank_with_workspace(comm, grid, dims, local, w0, ht0, config, &mut ws)
+}
+
+/// [`hpc_nmf_rank`] with a caller-owned workspace (resized to fit if the
+/// shapes differ from its previous use).
+#[allow(clippy::too_many_arguments)]
+pub fn hpc_nmf_rank_with_workspace(
+    comm: &Comm,
+    grid: Grid,
+    dims: (usize, usize),
+    local: &LocalMat,
+    w0: Mat,
+    ht0: Mat,
+    config: &NmfConfig,
+    ws: &mut IterWorkspace,
+) -> RankNmfOutput {
     let (m, n) = dims;
     let k = config.k;
-    assert_eq!(comm.size(), grid.size(), "communicator size must match grid");
+    assert_eq!(
+        comm.size(),
+        grid.size(),
+        "communicator size must match grid"
+    );
     let (gi, gj) = grid.coords(comm.rank());
 
     // Sub-communicators: `row_comm` spans this grid row (pc ranks,
@@ -64,7 +121,18 @@ pub fn hpc_nmf_rank(
     assert_eq!(w0.shape(), (sub_rows.part(gj).len, k));
     assert_eq!(ht0.shape(), (sub_cols.part(gi).len, k));
 
-    let solver = config.solver.build();
+    // Size (or re-size) the workspace; a no-op when already sized.
+    ws.gram_w.resize(k, k);
+    ws.gram_solve.resize(k, k);
+    ws.gram_local.resize(k, k);
+    ws.ht_gather.resize(my_cols.len, k);
+    ws.w_gather.resize(my_rows.len, k);
+    ws.mm_w.resize(my_rows.len, k);
+    ws.mm_h.resize(my_cols.len, k);
+    ws.aht.resize(sub_rows.part(gj).len, k);
+    ws.wta.resize(sub_cols.part(gi).len, k);
+
+    let mut solver = config.solver.build();
     let mut w_local = w0; // (Wᵢ)ⱼ
     let mut ht_local = ht0; // (Hⱼ)ᵢ, stored n/p × k
 
@@ -75,7 +143,7 @@ pub fn hpc_nmf_rank(
 
     // Line 3 for the first iteration: Uᵢⱼ = (Hⱼ)ᵢ(Hⱼ)ᵢᵀ. Later
     // iterations reuse the Gram computed for the objective.
-    let mut u_local = gram(&ht_local);
+    gram_into(&ht_local, &mut ws.gram_local);
 
     let mut iters = Vec::with_capacity(config.max_iters);
     let mut prev_obj = f64::INFINITY;
@@ -87,66 +155,58 @@ pub fn hpc_nmf_rank(
         let mut tt = TaskTimes::default();
 
         /* ---- Compute W given H (lines 3–8) ---- */
-        // Line 4: HHᵀ = Σᵢⱼ Uᵢⱼ, all-reduce across all ranks.
-        let hht = Mat::from_vec(k, k, comm.all_reduce(u_local.as_slice()));
+        // Line 4: HHᵀ = Σᵢⱼ Uᵢⱼ, all-reduce across all ranks — straight
+        // into the solve buffer; nothing reads the un-ridged HHᵀ later.
+        ws.gram_solve.copy_from(&ws.gram_local);
+        comm.all_reduce_into(ws.gram_solve.as_mut_slice());
 
         // Line 5: assemble Hⱼ (as Hⱼᵀ, n/pc × k) via all-gather across
         // the processor column.
-        let ht_j =
-            Mat::from_vec(my_cols.len, k, col_comm.all_gatherv(ht_local.as_slice(), &h_counts));
+        col_comm.all_gatherv_into(ht_local.as_slice(), &h_counts, ws.ht_gather.as_mut_slice());
 
         // Line 6: Vᵢⱼ = Aᵢⱼ·Hⱼᵀ (m/pr × k).
         let t0 = Instant::now();
-        let v = local.mm_a_ht(&ht_j);
+        local.mm_a_ht_into(&ws.ht_gather, &mut ws.mm_w);
         tt.mm += t0.elapsed();
 
         // Line 7: (AHᵀ)ᵢ via reduce-scatter across the processor row;
         // this rank keeps ((AHᵀ)ᵢ)ⱼ (m/p × k).
-        let aht_local = Mat::from_vec(
-            sub_rows.part(gj).len,
-            k,
-            row_comm.reduce_scatter(v.as_slice(), &w_counts),
-        );
+        row_comm.reduce_scatter_into(ws.mm_w.as_slice(), &w_counts, ws.aht.as_mut_slice());
 
         // Line 8: (Wᵢ)ⱼ ← argmin ‖W̃(HHᵀ) − ((AHᵀ)ᵢ)ⱼ‖, local NLS.
         let t0 = Instant::now();
-        let mut hht_solve = hht;
-        apply_ridge(&mut hht_solve, config.l2_w);
-        solver.update(&hht_solve, &aht_local, &mut w_local);
+        apply_ridge(&mut ws.gram_solve, config.l2_w);
+        solver.update(&ws.gram_solve, &ws.aht, &mut w_local);
         tt.nls += t0.elapsed();
 
         /* ---- Compute H given W (lines 9–14) ---- */
         // Line 9: Xᵢⱼ = (Wᵢ)ⱼᵀ(Wᵢ)ⱼ.
         let t0 = Instant::now();
-        let x_local = gram(&w_local);
+        gram_into(&w_local, &mut ws.gram_local);
         tt.gram += t0.elapsed();
 
         // Line 10: WᵀW all-reduce across all ranks.
-        let wtw = Mat::from_vec(k, k, comm.all_reduce(x_local.as_slice()));
+        ws.gram_w.copy_from(&ws.gram_local);
+        comm.all_reduce_into(ws.gram_w.as_mut_slice());
 
         // Line 11: assemble Wᵢ (m/pr × k) via all-gather across the
         // processor row.
-        let w_i =
-            Mat::from_vec(my_rows.len, k, row_comm.all_gatherv(w_local.as_slice(), &w_counts));
+        row_comm.all_gatherv_into(w_local.as_slice(), &w_counts, ws.w_gather.as_mut_slice());
 
         // Line 12: Yᵢⱼ = Wᵢᵀ·Aᵢⱼ, stored transposed (n/pc × k).
         let t0 = Instant::now();
-        let y = local.mm_at_w(&w_i);
+        local.mm_at_w_into(&ws.w_gather, &mut ws.mm_h);
         tt.mm += t0.elapsed();
 
         // Line 13: (WᵀA)ⱼ via reduce-scatter across the processor
         // column; this rank keeps ((WᵀA)ⱼ)ᵢ (n/p × k, transposed).
-        let wta_local = Mat::from_vec(
-            sub_cols.part(gi).len,
-            k,
-            col_comm.reduce_scatter(y.as_slice(), &h_counts),
-        );
+        col_comm.reduce_scatter_into(ws.mm_h.as_slice(), &h_counts, ws.wta.as_mut_slice());
 
         // Line 14: (Hⱼ)ᵢ ← argmin ‖(WᵀW)H̃ − ((WᵀA)ⱼ)ᵢ‖, local NLS.
         let t0 = Instant::now();
-        let mut wtw_solve = wtw.clone();
-        apply_ridge(&mut wtw_solve, config.l2_h);
-        solver.update(&wtw_solve, &wta_local, &mut ht_local);
+        ws.gram_solve.copy_from(&ws.gram_w);
+        apply_ridge(&mut ws.gram_solve, config.l2_h);
+        solver.update(&ws.gram_solve, &ws.wta, &mut ht_local);
         tt.nls += t0.elapsed();
 
         /* ---- Objective via the Gram identity ----
@@ -155,13 +215,18 @@ pub fn hpc_nmf_rank(
          * H Gram doubles as next iteration's Uᵢⱼ (line 3), so Gram is
          * still computed once per factor per iteration. */
         let t0 = Instant::now();
-        u_local = gram(&ht_local);
+        gram_into(&ht_local, &mut ws.gram_local);
         tt.gram += t0.elapsed();
-        let s = comm.all_reduce(&[wta_local.fro_dot(&ht_local), wtw.fro_dot(&u_local)]);
+        let mut s = [ws.wta.fro_dot(&ht_local), ws.gram_w.fro_dot(&ws.gram_local)];
+        comm.all_reduce_into(&mut s);
         objective = norm_a_sq - 2.0 * s[0] + s[1];
 
         let now = comm.stats();
-        iters.push(IterRecord { objective, compute: tt, comm: now.delta_since(&comm_base) });
+        iters.push(IterRecord {
+            objective,
+            compute: tt,
+            comm: now.delta_since(&comm_base),
+        });
         comm_base = now;
 
         let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
@@ -173,5 +238,10 @@ pub fn hpc_nmf_rank(
         prev_obj = objective;
     }
 
-    RankNmfOutput { w_local, ht_local, objective, iters }
+    RankNmfOutput {
+        w_local,
+        ht_local,
+        objective,
+        iters,
+    }
 }

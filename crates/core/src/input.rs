@@ -5,8 +5,8 @@
 //! operations that touch the data matrix, exactly as in the paper
 //! ("the data matrix itself is never communicated").
 
-use nmf_matrix::{matmul, matmul_ta, Mat};
-use nmf_sparse::{spmm_at_dense, spmm_dense_t, Csr};
+use nmf_matrix::{matmul, matmul_into, matmul_ta, matmul_ta_into, Mat};
+use nmf_sparse::{spmm_at_dense, spmm_at_dense_into, spmm_dense_t, spmm_dense_t_into, Csr};
 
 /// A whole input matrix (held by the test/benchmark harness; in a real
 /// MPI deployment each rank would read only its block from disk).
@@ -70,11 +70,27 @@ impl Input {
         }
     }
 
+    /// `A·Hᵀ` into caller-owned `out` (the workspace path).
+    pub fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
+        match self {
+            Input::Dense(a) => matmul_into(a, ht, out),
+            Input::Sparse(a) => spmm_dense_t_into(a, ht, out),
+        }
+    }
+
     /// `Aᵀ·W` (`n×k`) for `w` of shape `m×k`.
     pub fn mm_at_w(&self, w: &Mat) -> Mat {
         match self {
             Input::Dense(a) => matmul_ta(a, w),
             Input::Sparse(a) => spmm_at_dense(a, w),
+        }
+    }
+
+    /// `Aᵀ·W` into caller-owned `out` (the workspace path).
+    pub fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
+        match self {
+            Input::Dense(a) => matmul_ta_into(a, w, out),
+            Input::Sparse(a) => spmm_at_dense_into(a, w, out),
         }
     }
 }
@@ -123,11 +139,27 @@ impl LocalMat {
         }
     }
 
+    /// Local `A_loc·Hᵀ` into caller-owned `out` (the workspace path).
+    pub fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
+        match self {
+            LocalMat::Dense(a) => matmul_into(a, ht, out),
+            LocalMat::Sparse(a) => spmm_dense_t_into(a, ht, out),
+        }
+    }
+
     /// Local `A_locᵀ·W` (the `MM` task of the `H` update).
     pub fn mm_at_w(&self, w: &Mat) -> Mat {
         match self {
             LocalMat::Dense(a) => matmul_ta(a, w),
             LocalMat::Sparse(a) => spmm_at_dense(a, w),
+        }
+    }
+
+    /// Local `A_locᵀ·W` into caller-owned `out` (the workspace path).
+    pub fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
+        match self {
+            LocalMat::Dense(a) => matmul_ta_into(a, w, out),
+            LocalMat::Sparse(a) => spmm_at_dense_into(a, w, out),
         }
     }
 

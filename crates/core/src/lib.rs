@@ -44,11 +44,13 @@ pub mod hpc;
 pub mod input;
 pub mod naive;
 pub mod seq;
+pub mod workspace;
 
 pub use config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput, TaskTimes};
 pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
+pub use workspace::IterWorkspace;
 
 /// Everything needed for typical use.
 pub mod prelude {

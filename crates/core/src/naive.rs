@@ -11,7 +11,8 @@
 use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
 use crate::dist::Dist1D;
 use crate::input::LocalMat;
-use nmf_matrix::gram::gram;
+use crate::workspace::IterWorkspace;
+use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_vmpi::Comm;
 use std::time::Instant;
@@ -52,14 +53,22 @@ pub fn naive_nmf_rank(
     let dist_m = Dist1D::new(m, p);
     let dist_n = Dist1D::new(n, p);
     let me = comm.rank();
-    assert_eq!(row_block.nrows(), dist_m.part(me).len, "row block height mismatch");
+    assert_eq!(
+        row_block.nrows(),
+        dist_m.part(me).len,
+        "row block height mismatch"
+    );
     assert_eq!(row_block.ncols(), n);
     assert_eq!(col_block.nrows(), m);
-    assert_eq!(col_block.ncols(), dist_n.part(me).len, "column block width mismatch");
+    assert_eq!(
+        col_block.ncols(),
+        dist_n.part(me).len,
+        "column block width mismatch"
+    );
     assert_eq!(w0.shape(), (dist_m.part(me).len, k));
     assert_eq!(ht0.shape(), (dist_n.part(me).len, k));
 
-    let solver = config.solver.build();
+    let mut solver = config.solver.build();
     let mut w_local = w0;
     let mut ht_local = ht0;
     // ‖A‖² from the column blocks (each entry counted exactly once).
@@ -67,6 +76,10 @@ pub fn naive_nmf_rank(
 
     let w_counts = dist_m.lens_scaled(k);
     let h_counts = dist_n.lens_scaled(k);
+
+    // All per-iteration matrices live here; the loop below performs no
+    // heap allocations in the compute path (see crate::workspace).
+    let mut ws = IterWorkspace::for_naive(m, n, dist_m.part(me).len, dist_n.part(me).len, k);
 
     let mut iters = Vec::with_capacity(config.max_iters);
     let mut prev_obj = f64::INFINITY;
@@ -79,48 +92,50 @@ pub fn naive_nmf_rank(
 
         /* --- Compute W given H (lines 3–4) --- */
         // Line 3: collect the whole of H on each processor.
-        let ht_full_flat = comm.all_gatherv(ht_local.as_slice(), &h_counts);
-        let ht_full = Mat::from_vec(n, k, ht_full_flat);
+        comm.all_gatherv_into(ht_local.as_slice(), &h_counts, ws.ht_gather.as_mut_slice());
 
-        // Redundant Gram: every rank computes HHᵀ itself.
+        // Redundant Gram: every rank computes HHᵀ itself — straight into
+        // the solve buffer; nothing reads the un-ridged Gram later.
         let t0 = Instant::now();
-        let hht = gram(&ht_full);
+        gram_into(&ws.ht_gather, &mut ws.gram_solve);
         tt.gram += t0.elapsed();
 
         // Line 4: Wᵢ ← argmin ‖Aᵢ − W̃H‖ via the normal equations.
         let t0 = Instant::now();
-        let aht = row_block.mm_a_ht(&ht_full); // (m/p)×k
+        row_block.mm_a_ht_into(&ws.ht_gather, &mut ws.mm_w); // (m/p)×k
         tt.mm += t0.elapsed();
         let t0 = Instant::now();
-        let mut hht_solve = hht;
-        apply_ridge(&mut hht_solve, config.l2_w);
-        solver.update(&hht_solve, &aht, &mut w_local);
+        apply_ridge(&mut ws.gram_solve, config.l2_w);
+        solver.update(&ws.gram_solve, &ws.mm_w, &mut w_local);
         tt.nls += t0.elapsed();
 
         /* --- Compute H given W (lines 5–6) --- */
         // Line 5: collect the whole of W on each processor.
-        let w_full_flat = comm.all_gatherv(w_local.as_slice(), &w_counts);
-        let w_full = Mat::from_vec(m, k, w_full_flat);
+        comm.all_gatherv_into(w_local.as_slice(), &w_counts, ws.w_gather.as_mut_slice());
 
         let t0 = Instant::now();
-        let wtw = gram(&w_full);
+        gram_into(&ws.w_gather, &mut ws.gram_w);
         tt.gram += t0.elapsed();
 
         // Line 6: Hⁱ ← argmin ‖Aⁱ − WH̃‖.
         let t0 = Instant::now();
-        let atw = col_block.mm_at_w(&w_full); // (n/p)×k
+        col_block.mm_at_w_into(&ws.w_gather, &mut ws.mm_h); // (n/p)×k
         tt.mm += t0.elapsed();
         let t0 = Instant::now();
-        let mut wtw_solve = wtw.clone();
-        apply_ridge(&mut wtw_solve, config.l2_h);
-        solver.update(&wtw_solve, &atw, &mut ht_local);
+        ws.gram_solve.copy_from(&ws.gram_w);
+        apply_ridge(&mut ws.gram_solve, config.l2_h);
+        solver.update(&ws.gram_solve, &ws.mm_h, &mut ht_local);
         tt.nls += t0.elapsed();
 
         /* --- Objective via the Gram identity --- */
         let t0 = Instant::now();
-        let hht_local = gram(&ht_local);
+        gram_into(&ht_local, &mut ws.gram_local);
         tt.gram += t0.elapsed();
-        let s = comm.all_reduce(&[atw.fro_dot(&ht_local), wtw.fro_dot(&hht_local)]);
+        let mut s = [
+            ws.mm_h.fro_dot(&ht_local),
+            ws.gram_w.fro_dot(&ws.gram_local),
+        ];
+        comm.all_reduce_into(&mut s);
         objective = norm_a_sq - 2.0 * s[0] + s[1];
 
         let now = comm.stats();
@@ -140,5 +155,10 @@ pub fn naive_nmf_rank(
         prev_obj = objective;
     }
 
-    RankNmfOutput { w_local, ht_local, objective, iters }
+    RankNmfOutput {
+        w_local,
+        ht_local,
+        objective,
+        iters,
+    }
 }

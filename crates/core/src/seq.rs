@@ -6,9 +6,10 @@
 //! mirroring the paper's §6.1.3 protocol.
 
 use crate::config::{apply_ridge, init_ht, init_w, IterRecord, NmfConfig, NmfOutput, TaskTimes};
-use nmf_matrix::Mat;
 use crate::input::Input;
-use nmf_matrix::gram::gram;
+use crate::workspace::IterWorkspace;
+use nmf_matrix::gram::gram_into;
+use nmf_matrix::Mat;
 use nmf_vmpi::CommStats;
 use std::time::Instant;
 
@@ -27,15 +28,25 @@ pub fn nmf_seq(input: &Input, config: &NmfConfig) -> NmfOutput {
 pub fn nmf_seq_from(input: &Input, config: &NmfConfig, w: Mat, ht: Mat) -> NmfOutput {
     let (m, n) = input.shape();
     let k = config.k;
-    assert!(k >= 1 && k <= m.min(n), "rank k must satisfy 1 <= k <= min(m, n)");
+    assert!(
+        k >= 1 && k <= m.min(n),
+        "rank k must satisfy 1 <= k <= min(m, n)"
+    );
     assert_eq!(w.shape(), (m, k), "w init shape mismatch");
     assert_eq!(ht.shape(), (n, k), "ht init shape mismatch");
-    assert!(w.all_nonnegative() && ht.all_nonnegative(), "initial factors must be nonnegative");
-    let solver = config.solver.build();
+    assert!(
+        w.all_nonnegative() && ht.all_nonnegative(),
+        "initial factors must be nonnegative"
+    );
+    let mut solver = config.solver.build();
 
     let mut ht = ht; // n×k (row j = column j of H)
     let mut w = w; // m×k
     let norm_a_sq = input.fro_norm_sq();
+
+    // All per-iteration matrices live here; the loop below performs no
+    // heap allocations after the first iteration (see crate::workspace).
+    let mut ws = IterWorkspace::for_seq(m, n, k);
 
     let mut iters: Vec<IterRecord> = Vec::with_capacity(config.max_iters);
     let mut prev_obj = f64::INFINITY;
@@ -45,42 +56,47 @@ pub fn nmf_seq_from(input: &Input, config: &NmfConfig, w: Mat, ht: Mat) -> NmfOu
         let mut tt = TaskTimes::default();
 
         // --- W update: W ← nls(HHᵀ, AHᵀ) ---
+        // HHᵀ goes straight into the solve buffer; nothing reads the
+        // un-ridged Gram later.
         let t0 = Instant::now();
-        let hht = gram(&ht);
+        gram_into(&ht, &mut ws.gram_solve);
         tt.gram += t0.elapsed();
 
         let t0 = Instant::now();
-        let aht = input.mm_a_ht(&ht); // m×k
+        input.mm_a_ht_into(&ht, &mut ws.mm_w); // m×k
         tt.mm += t0.elapsed();
 
         let t0 = Instant::now();
-        let mut hht_solve = hht;
-        apply_ridge(&mut hht_solve, config.l2_w);
-        solver.update(&hht_solve, &aht, &mut w);
+        apply_ridge(&mut ws.gram_solve, config.l2_w);
+        solver.update(&ws.gram_solve, &ws.mm_w, &mut w);
         tt.nls += t0.elapsed();
 
         // --- H update: H ← nls(WᵀW, WᵀA) ---
         let t0 = Instant::now();
-        let wtw = gram(&w);
+        gram_into(&w, &mut ws.gram_w);
         tt.gram += t0.elapsed();
 
         let t0 = Instant::now();
-        let atw = input.mm_at_w(&w); // n×k
+        input.mm_at_w_into(&w, &mut ws.mm_h); // n×k
         tt.mm += t0.elapsed();
 
         let t0 = Instant::now();
-        let mut wtw_solve = wtw.clone();
-        apply_ridge(&mut wtw_solve, config.l2_h);
-        solver.update(&wtw_solve, &atw, &mut ht);
+        ws.gram_solve.copy_from(&ws.gram_w);
+        apply_ridge(&mut ws.gram_solve, config.l2_h);
+        solver.update(&ws.gram_solve, &ws.mm_h, &mut ht);
         tt.nls += t0.elapsed();
 
         // --- objective via the Gram identity (never forms WH) ---
         let t0 = Instant::now();
-        let hht_new = gram(&ht);
+        gram_into(&ht, &mut ws.gram_local);
         tt.gram += t0.elapsed();
-        let objective = norm_a_sq - 2.0 * atw.fro_dot(&ht) + wtw.fro_dot(&hht_new);
+        let objective = norm_a_sq - 2.0 * ws.mm_h.fro_dot(&ht) + ws.gram_w.fro_dot(&ws.gram_local);
 
-        iters.push(IterRecord { objective, compute: tt, comm: CommStats::new() });
+        iters.push(IterRecord {
+            objective,
+            compute: tt,
+            comm: CommStats::new(),
+        });
         let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
         if let Some(tol) = config.tol {
             if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
@@ -127,7 +143,11 @@ mod tests {
         // ANLS converges to a stationary point, not necessarily the
         // global optimum; <1% on exact rank-4 data demonstrates the
         // structure is recovered (the initial error is ~30%).
-        assert!(out.rel_error < 1e-2, "rel_error {} too large", out.rel_error);
+        assert!(
+            out.rel_error < 1e-2,
+            "rel_error {} too large",
+            out.rel_error
+        );
         assert!(out.w.all_nonnegative());
         assert!(out.h.all_nonnegative());
         if let Input::Dense(a) = &input {
@@ -147,7 +167,10 @@ mod tests {
         for solver in SolverKind::ALL {
             let out = nmf_seq(
                 &input,
-                &NmfConfig::new(5).with_solver(solver).with_max_iters(15).with_seed(4),
+                &NmfConfig::new(5)
+                    .with_solver(solver)
+                    .with_max_iters(15)
+                    .with_seed(4),
             );
             let hist = out.history();
             for win in hist.windows(2) {
@@ -172,7 +195,10 @@ mod tests {
     #[test]
     fn tolerance_stops_early() {
         let input = low_rank_input(30, 25, 3, 84);
-        let out = nmf_seq(&input, &NmfConfig::new(3).with_max_iters(200).with_tol(1e-6));
+        let out = nmf_seq(
+            &input,
+            &NmfConfig::new(3).with_max_iters(200).with_tol(1e-6),
+        );
         assert!(out.iterations < 200, "tolerance should trigger early exit");
     }
 

@@ -1,0 +1,127 @@
+//! Per-iteration workspaces for the NMF drivers.
+//!
+//! Every ANLS outer iteration of every driver produces the same cast of
+//! intermediate matrices — two `k×k` Grams and their globally-reduced
+//! and ridge-shifted copies, the assembled factor block, the `MM`
+//! products, and (for HPC-NMF) the reduce-scattered normal-equation
+//! right-hand sides. The seed implementation allocated each of these
+//! fresh every iteration; [`IterWorkspace`] owns them all, so a driver
+//! allocates exactly once before its loop and the steady-state iteration
+//! performs **zero heap allocations in the compute path** (the NLS
+//! solvers hold their own scratch the same way, and the `_into`
+//! collectives draw staging from the communicator arena).
+//!
+//! One struct serves all three drivers; each constructor sizes exactly
+//! the buffers its driver touches and leaves the rest `0×0`.
+
+use nmf_matrix::Mat;
+
+/// Owned storage for every per-iteration matrix of an NMF driver.
+///
+/// Field names follow the update in which the buffer is produced; the
+/// table maps them to the paper's Algorithm 1–3 symbols:
+///
+/// | field        | sequential (Alg. 1) | naive (Alg. 2)      | HPC (Alg. 3)          |
+/// |--------------|---------------------|---------------------|-----------------------|
+/// | `gram_w`     | `WᵀW`               | `WᵀW` (redundant)   | `WᵀW` (all-reduced)   |
+/// | `gram_solve` | `HHᵀ`+ridge, then ridged `WᵀW` copy | same | same              |
+/// | `gram_local` | next `HHᵀ`          | local `HHᵀ`         | `Uᵢⱼ` / `Xᵢⱼ`        |
+/// | `ht_gather`  | —                   | assembled `Hᵀ`      | `Hⱼᵀ` (col gather)    |
+/// | `w_gather`   | —                   | assembled `W`       | `Wᵢ` (row gather)     |
+/// | `mm_w`       | `AHᵀ`               | `AᵢHᵀ`              | `Vᵢⱼ = AᵢⱼHⱼᵀ`       |
+/// | `mm_h`       | `AᵀW`               | `(Aʲ)ᵀW`            | `Yᵢⱼ = (Wᵢᵀ Aᵢⱼ)ᵀ`   |
+/// | `aht`        | —                   | —                   | `((AHᵀ)ᵢ)ⱼ` (rs out)  |
+/// | `wta`        | —                   | —                   | `((WᵀA)ⱼ)ᵢ` (rs out)  |
+#[derive(Clone, Debug, Default)]
+pub struct IterWorkspace {
+    pub gram_w: Mat,
+    pub gram_solve: Mat,
+    pub gram_local: Mat,
+    pub ht_gather: Mat,
+    pub w_gather: Mat,
+    pub mm_w: Mat,
+    pub mm_h: Mat,
+    pub aht: Mat,
+    pub wta: Mat,
+}
+
+impl IterWorkspace {
+    /// Workspace for the sequential driver on an `m×n` input at rank `k`.
+    pub fn for_seq(m: usize, n: usize, k: usize) -> Self {
+        IterWorkspace {
+            gram_w: Mat::zeros(k, k),
+            gram_solve: Mat::zeros(k, k),
+            gram_local: Mat::zeros(k, k),
+            mm_w: Mat::zeros(m, k),
+            mm_h: Mat::zeros(n, k),
+            ..Default::default()
+        }
+    }
+
+    /// Workspace for one rank of the naive driver: `m×n` global dims,
+    /// `rows`/`cols` this rank's row-block height and column-block width.
+    pub fn for_naive(m: usize, n: usize, rows: usize, cols: usize, k: usize) -> Self {
+        IterWorkspace {
+            gram_w: Mat::zeros(k, k),
+            gram_solve: Mat::zeros(k, k),
+            gram_local: Mat::zeros(k, k),
+            ht_gather: Mat::zeros(n, k),
+            w_gather: Mat::zeros(m, k),
+            mm_w: Mat::zeros(rows, k),
+            mm_h: Mat::zeros(cols, k),
+            ..Default::default()
+        }
+    }
+
+    /// Workspace for one rank of HPC-NMF: `block_rows`/`block_cols` the
+    /// local `Aᵢⱼ` dimensions, `w_rows`/`ht_rows` the heights of this
+    /// rank's 1D factor slices (`(Wᵢ)ⱼ` and `(Hⱼ)ᵢ`).
+    pub fn for_hpc(
+        block_rows: usize,
+        block_cols: usize,
+        w_rows: usize,
+        ht_rows: usize,
+        k: usize,
+    ) -> Self {
+        IterWorkspace {
+            gram_w: Mat::zeros(k, k),
+            gram_solve: Mat::zeros(k, k),
+            gram_local: Mat::zeros(k, k),
+            ht_gather: Mat::zeros(block_cols, k),
+            w_gather: Mat::zeros(block_rows, k),
+            mm_w: Mat::zeros(block_rows, k),
+            mm_h: Mat::zeros(block_cols, k),
+            aht: Mat::zeros(w_rows, k),
+            wta: Mat::zeros(ht_rows, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_size_only_what_each_driver_uses() {
+        let seq = IterWorkspace::for_seq(10, 8, 3);
+        assert_eq!(seq.mm_w.shape(), (10, 3));
+        assert_eq!(seq.mm_h.shape(), (8, 3));
+        assert_eq!(seq.ht_gather.shape(), (0, 0));
+        assert_eq!(seq.aht.shape(), (0, 0));
+
+        let naive = IterWorkspace::for_naive(10, 8, 5, 4, 3);
+        assert_eq!(naive.ht_gather.shape(), (8, 3));
+        assert_eq!(naive.w_gather.shape(), (10, 3));
+        assert_eq!(naive.mm_w.shape(), (5, 3));
+        assert_eq!(naive.mm_h.shape(), (4, 3));
+
+        let hpc = IterWorkspace::for_hpc(6, 5, 3, 2, 4);
+        assert_eq!(hpc.ht_gather.shape(), (5, 4));
+        assert_eq!(hpc.w_gather.shape(), (6, 4));
+        assert_eq!(hpc.mm_w.shape(), (6, 4));
+        assert_eq!(hpc.mm_h.shape(), (5, 4));
+        assert_eq!(hpc.aht.shape(), (3, 4));
+        assert_eq!(hpc.wta.shape(), (2, 4));
+        assert_eq!(hpc.gram_solve.shape(), (4, 4));
+    }
+}

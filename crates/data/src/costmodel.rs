@@ -30,7 +30,11 @@ impl Default for KernelRates {
     /// (the paper's setting): a few Gflop/s for BLAS-3, less for the
     /// irregular NLS work.
     fn default() -> Self {
-        KernelRates { mm_flops: 5e9, gram_flops: 4e9, nls_flops: 1e9 }
+        KernelRates {
+            mm_flops: 5e9,
+            gram_flops: 4e9,
+            nls_flops: 1e9,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ impl KernelRates {
         let _ = &ctb;
         let bpp = nmf_nls_probe(&g, n, k);
 
-        KernelRates { mm_flops: mm, gram_flops: gram, nls_flops: bpp }
+        KernelRates {
+            mm_flops: mm,
+            gram_flops: gram,
+            nls_flops: bpp,
+        }
     }
 }
 
@@ -88,11 +96,23 @@ pub struct Workload {
 
 impl Workload {
     pub fn dense(m: usize, n: usize, k: usize) -> Self {
-        Workload { m, n, k, nnz: m * n, sparse: false }
+        Workload {
+            m,
+            n,
+            k,
+            nnz: m * n,
+            sparse: false,
+        }
     }
 
     pub fn sparse(m: usize, n: usize, k: usize, nnz: usize) -> Self {
-        Workload { m, n, k, nnz, sparse: true }
+        Workload {
+            m,
+            n,
+            k,
+            nnz,
+            sparse: true,
+        }
     }
 }
 
@@ -105,7 +125,10 @@ pub struct PerfModel {
 
 impl Default for PerfModel {
     fn default() -> Self {
-        PerfModel { net: CostModel::edison_like(), rates: KernelRates::default() }
+        PerfModel {
+            net: CostModel::edison_like(),
+            rates: KernelRates::default(),
+        }
     }
 }
 
@@ -155,12 +178,18 @@ impl PerfModel {
             mm: mm_flops / self.rates.mm_flops,
             nls: self.nls_seconds(w, grid.size()),
             gram: gram_flops / self.rates.gram_flops,
-            all_gather: self.net.all_gather(grid.pr, (n / grid.pc as f64 * k) as usize)
-                + self.net.all_gather(grid.pc, (m / grid.pr as f64 * k) as usize),
+            all_gather: self
+                .net
+                .all_gather(grid.pr, (n / grid.pc as f64 * k) as usize)
+                + self
+                    .net
+                    .all_gather(grid.pc, (m / grid.pr as f64 * k) as usize),
             reduce_scatter: self
                 .net
                 .reduce_scatter(grid.pc, (m / grid.pr as f64 * k) as usize)
-                + self.net.reduce_scatter(grid.pr, (n / grid.pc as f64 * k) as usize),
+                + self
+                    .net
+                    .reduce_scatter(grid.pr, (n / grid.pc as f64 * k) as usize),
             all_reduce: 2.0 * self.net.all_reduce(grid.size(), w.k * w.k),
         }
     }
@@ -208,7 +237,12 @@ mod tests {
     use hpc_nmf::Algo;
 
     fn ssyn() -> Workload {
-        Workload::sparse(172_800, 115_200, 50, (172_800.0 * 115_200.0 * 0.001) as usize)
+        Workload::sparse(
+            172_800,
+            115_200,
+            50,
+            (172_800.0 * 115_200.0 * 0.001) as usize,
+        )
     }
 
     fn dsyn() -> Workload {
@@ -240,7 +274,10 @@ mod tests {
         // Fig 3a: Naive on SSYN spends most time in All-Gather.
         let pm = PerfModel::default();
         let b = pm.breakdown(&ssyn(), Algo::Naive, 600);
-        assert!(b.comm() > b.compute(), "naive sparse should be comm-bound: {b:?}");
+        assert!(
+            b.comm() > b.compute(),
+            "naive sparse should be comm-bound: {b:?}"
+        );
     }
 
     #[test]
@@ -262,7 +299,10 @@ mod tests {
         let one = pm.breakdown(&video(), Algo::Hpc1D, 600);
         let two = pm.breakdown(&video(), Algo::Hpc2D, 600);
         let ratio = one.total() / two.total();
-        assert!((0.8..1.25).contains(&ratio), "1D/2D ratio {ratio} should be near 1");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "1D/2D ratio {ratio} should be near 1"
+        );
     }
 
     #[test]

@@ -23,8 +23,12 @@ pub enum DatasetKind {
 }
 
 impl DatasetKind {
-    pub const ALL: [DatasetKind; 4] =
-        [DatasetKind::Ssyn, DatasetKind::Dsyn, DatasetKind::Webbase, DatasetKind::Video];
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Ssyn,
+        DatasetKind::Dsyn,
+        DatasetKind::Webbase,
+        DatasetKind::Video,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -128,7 +132,11 @@ fn video(m: usize, n_frames: usize, seed: u64) -> Mat {
         };
         for i in 0..m {
             let bg: f64 = (0..3).map(|c| mix[c] * base[(i, c)]).sum();
-            let fg = if i >= start && i < start + obj_len { 0.8 } else { 0.0 };
+            let fg = if i >= start && i < start + obj_len {
+                0.8
+            } else {
+                0.0
+            };
             let sensor_noise = 0.005 * rng.gen::<f64>();
             frames[(i, t)] = bg + fg + sensor_noise;
         }
@@ -194,7 +202,12 @@ mod tests {
         for kind in DatasetKind::ALL {
             let a = kind.build(800, 9);
             let b = kind.build(800, 9);
-            assert_eq!(a.input.nnz(), b.input.nnz(), "{} not deterministic", kind.name());
+            assert_eq!(
+                a.input.nnz(),
+                b.input.nnz(),
+                "{} not deterministic",
+                kind.name()
+            );
             assert_eq!(a.input.fro_norm_sq(), b.input.fro_norm_sq());
         }
     }

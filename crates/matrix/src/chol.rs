@@ -34,14 +34,26 @@ impl std::error::Error for CholError {}
 /// Computes the lower-triangular `L` with `A = L·Lᵀ`.
 ///
 /// Only the lower triangle of `A` is read.
+pub fn cholesky(a: &Mat) -> Result<Mat, CholError> {
+    let mut l = Mat::zeros(a.nrows(), a.nrows());
+    cholesky_into(a, &mut l)?;
+    Ok(l)
+}
+
+/// [`cholesky`] into caller-owned `l` (resized as needed) — the
+/// workspace variant used by the NLS hot path.
+///
+/// Only the lower triangle and diagonal of `l` are written (and only
+/// those are read by the solve routines); when `l` is a reused buffer of
+/// matching shape its strict upper triangle keeps stale values.
 // `!(d > 0.0)` is deliberate: it also catches NaN pivots.
 #[allow(clippy::neg_cmp_op_on_partial_ord)]
-pub fn cholesky(a: &Mat) -> Result<Mat, CholError> {
+pub fn cholesky_into(a: &Mat, l: &mut Mat) -> Result<(), CholError> {
     if a.nrows() != a.ncols() {
         return Err(CholError::NotSquare);
     }
     let n = a.nrows();
-    let mut l = Mat::zeros(n, n);
+    l.resize(n, n);
     for j in 0..n {
         // d = A[j,j] - sum_{k<j} L[j,k]^2
         let mut d = a[(j, j)];
@@ -61,17 +73,25 @@ pub fn cholesky(a: &Mat) -> Result<Mat, CholError> {
             l[(i, j)] = s / djj;
         }
     }
-    Ok(l)
+    Ok(())
 }
 
 /// Solves `L·Lᵀ·X = B` for `X` given the Cholesky factor `L`. `B` is
 /// `n×r` (multi-right-hand-side).
 pub fn cholesky_solve(l: &Mat, b: &Mat) -> Mat {
+    let mut x = b.clone();
+    cholesky_solve_in_place(l, &mut x);
+    x
+}
+
+/// Solves `L·Lᵀ·X = B` in place: `b` holds `B` on entry and `X` on exit.
+/// The workspace variant — no allocation.
+pub fn cholesky_solve_in_place(l: &Mat, b: &mut Mat) {
     assert_eq!(l.nrows(), l.ncols());
     assert_eq!(l.nrows(), b.nrows(), "rhs row count mismatch");
     let n = l.nrows();
     let r = b.ncols();
-    let mut x = b.clone();
+    let x = b;
     // Forward substitution: L·Y = B.
     for i in 0..n {
         for k in 0..i {
@@ -105,7 +125,6 @@ pub fn cholesky_solve(l: &Mat, b: &Mat) -> Mat {
             *v /= d;
         }
     }
-    x
 }
 
 /// Solves the SPD system `A·X = B`.

@@ -17,19 +17,44 @@ pub fn gram(x: &Mat) -> Mat {
 }
 
 /// `G = XᵀX` into caller-owned `g` (overwritten).
+///
+/// Accumulates the upper triangle four sample rows at a time, so each
+/// `G` row is loaded and stored once per four rank-1 updates — the same
+/// register-blocking as `matmul_ta_into`, restricted to `j ≥ i`.
 pub fn gram_into(x: &Mat, g: &mut Mat) {
     let k = x.ncols();
     assert_eq!(g.shape(), (k, k), "gram output shape mismatch");
     g.as_mut_slice().fill(0.0);
-    // Accumulate the upper triangle row-by-row of X: G += xᵣ xᵣᵀ.
-    for r in 0..x.nrows() {
-        let xr = x.row(r);
+    let m = x.nrows();
+    let m4 = m - m % 4;
+    let gm = g.as_mut_slice();
+    let mut r = 0;
+    while r < m4 {
+        let x0 = x.row(r);
+        let x1 = x.row(r + 1);
+        let x2 = x.row(r + 2);
+        let x3 = x.row(r + 3);
+        for i in 0..k {
+            let (a0, a1, a2, a3) = (x0[i], x1[i], x2[i], x3[i]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let gi = &mut gm[i * k..(i + 1) * k];
+            for j in i..k {
+                gi[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+            }
+        }
+        r += 4;
+    }
+    // Remainder rows: plain rank-1 upper-triangle accumulation.
+    for rr in m4..m {
+        let xr = x.row(rr);
         for i in 0..k {
             let xri = xr[i];
             if xri == 0.0 {
                 continue;
             }
-            let gi = &mut g.as_mut_slice()[i * k..(i + 1) * k];
+            let gi = &mut gm[i * k..(i + 1) * k];
             for j in i..k {
                 gi[j] += xri * xr[j];
             }

@@ -27,7 +27,12 @@ pub mod mat;
 pub mod ops;
 pub mod rng;
 
-pub use chol::{cholesky, cholesky_solve, solve_spd, CholError};
-pub use gemm::{matmul, matmul_into, matmul_ta, matmul_ta_into, matmul_tb, matmul_tb_into};
+pub use chol::{
+    cholesky, cholesky_into, cholesky_solve, cholesky_solve_in_place, solve_spd, CholError,
+};
+pub use gemm::{
+    matmul, matmul_ikj, matmul_ikj_into, matmul_into, matmul_par, matmul_par_into, matmul_ta,
+    matmul_ta_into, matmul_tb, matmul_tb_into,
+};
 pub use gram::{gram, gram_into, outer_gram, outer_gram_into};
 pub use mat::Mat;

@@ -19,12 +19,20 @@ pub struct Mat {
 impl Mat {
     /// An `nrows × ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Mat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Mat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// An `nrows × ncols` matrix with every entry equal to `v`.
     pub fn filled(nrows: usize, ncols: usize, v: f64) -> Self {
-        Mat { nrows, ncols, data: vec![v; nrows * ncols] }
+        Mat {
+            nrows,
+            ncols,
+            data: vec![v; nrows * ncols],
+        }
     }
 
     /// The `n × n` identity.
@@ -65,7 +73,11 @@ impl Mat {
             assert_eq!(r.len(), ncols, "ragged rows in from_rows");
             data.extend_from_slice(r);
         }
-        Mat { nrows: rows.len(), ncols, data }
+        Mat {
+            nrows: rows.len(),
+            ncols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
@@ -159,7 +171,9 @@ impl Mat {
     /// row-major layout, so this is a gather).
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.ncols);
-        (0..self.nrows).map(|i| self.data[i * self.ncols + j]).collect()
+        (0..self.nrows)
+            .map(|i| self.data[i * self.ncols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with `v`.
@@ -174,7 +188,10 @@ impl Mat {
     /// A newly allocated copy of the sub-block with rows `r0..r0+nr` and
     /// columns `c0..c0+nc`.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Mat {
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "block out of bounds");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "block out of bounds"
+        );
         let mut out = Mat::zeros(nr, nc);
         for i in 0..nr {
             let src = &self.data[(r0 + i) * self.ncols + c0..(r0 + i) * self.ncols + c0 + nc];
@@ -238,6 +255,32 @@ impl Mat {
         out
     }
 
+    /// Overwrites `self` with `src` (shapes must match). The workspace
+    /// counterpart of `clone()`: no allocation.
+    pub fn copy_from(&mut self, src: &Mat) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshapes this matrix to `nrows × ncols`, reusing the backing
+    /// allocation when capacity suffices. For workspace buffers whose
+    /// dimensions vary between calls (e.g. per-group NLS scratch).
+    ///
+    /// Contents contract: if the shape actually changes the entries are
+    /// reset to zero; if the shape already matches, the call is a no-op
+    /// and existing entries are **kept** — callers on hot paths fully
+    /// overwrite the buffer after resizing, and skipping the redundant
+    /// memset is the point of reusing a workspace.
+    pub fn resize(&mut self, nrows: usize, ncols: usize) {
+        if (self.nrows, self.ncols) == (nrows, ncols) {
+            return;
+        }
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, 0.0);
+    }
+
     /// The transpose as a new matrix.
     pub fn transpose(&self) -> Mat {
         let mut out = Mat::zeros(self.ncols, self.nrows);
@@ -277,6 +320,14 @@ impl Mat {
     }
 }
 
+/// The empty `0×0` matrix — the natural initial state for workspace
+/// buffers that are `resize`d before first use.
+impl Default for Mat {
+    fn default() -> Self {
+        Mat::zeros(0, 0)
+    }
+}
+
 impl Index<(usize, usize)> for Mat {
     type Output = f64;
     #[inline]
@@ -300,8 +351,10 @@ impl fmt::Debug for Mat {
         let show_rows = self.nrows.min(8);
         for i in 0..show_rows {
             let show_cols = self.ncols.min(8);
-            let row: Vec<String> =
-                self.row(i)[..show_cols].iter().map(|x| format!("{x:10.4}")).collect();
+            let row: Vec<String> = self.row(i)[..show_cols]
+                .iter()
+                .map(|x| format!("{x:10.4}"))
+                .collect();
             let ellipsis = if self.ncols > show_cols { " ..." } else { "" };
             writeln!(f, "  [{}{}]", row.join(", "), ellipsis)?;
         }

@@ -20,7 +20,11 @@ impl Mat {
     /// Frobenius inner product `⟨self, other⟩ = Σᵢⱼ selfᵢⱼ·otherᵢⱼ`.
     pub fn fro_dot(&self, other: &Mat) -> f64 {
         assert_eq!(self.shape(), other.shape(), "fro_dot shape mismatch");
-        self.as_slice().iter().zip(other.as_slice()).map(|(a, b)| a * b).sum()
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// `self += other`.
@@ -62,8 +66,11 @@ impl Mat {
     pub fn mu_update(&mut self, num: &Mat, den: &Mat, eps: f64) {
         assert_eq!(self.shape(), num.shape());
         assert_eq!(self.shape(), den.shape());
-        for ((a, n), d) in
-            self.as_mut_slice().iter_mut().zip(num.as_slice()).zip(den.as_slice())
+        for ((a, n), d) in self
+            .as_mut_slice()
+            .iter_mut()
+            .zip(num.as_slice())
+            .zip(den.as_slice())
         {
             *a *= n / d.max(eps);
         }
@@ -80,12 +87,18 @@ impl Mat {
 
     /// Largest entry.
     pub fn max_entry(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest entry.
     pub fn min_entry(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Sum of all entries.
@@ -136,8 +149,7 @@ mod tests {
         diff.sub_assign(&wh);
         let direct = diff.fro_norm_sq();
         let wta = matmul_ta(&w, &a);
-        let indirect =
-            a.fro_norm_sq() - 2.0 * wta.fro_dot(&h) + gram(&w).fro_dot(&outer_gram(&h));
+        let indirect = a.fro_norm_sq() - 2.0 * wta.fro_dot(&h) + gram(&w).fro_dot(&outer_gram(&h));
         assert!((direct - indirect).abs() < 1e-9 * direct.max(1.0));
     }
 

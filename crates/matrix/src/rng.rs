@@ -86,7 +86,12 @@ mod tests {
         let a = Mat::gaussian(200, 200, 7);
         let n = a.len() as f64;
         let mean = a.sum() / n;
-        let var = a.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var = a
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
     }

@@ -24,12 +24,15 @@ pub struct ActiveSet {
 
 impl Default for ActiveSet {
     fn default() -> Self {
-        ActiveSet { tol: 1e-12, max_outer: 400 }
+        ActiveSet {
+            tol: 1e-12,
+            max_outer: 400,
+        }
     }
 }
 
 impl NlsSolver for ActiveSet {
-    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+    fn update(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
         assert_eq!(x.shape(), ctb.shape());
         let k = gram.nrows();
         assert_eq!(gram.ncols(), k);
@@ -74,8 +77,7 @@ impl ActiveSet {
             // Inner loop: solve on the passive set; backtrack while the
             // solution leaves the feasible region.
             loop {
-                let free: Vec<usize> =
-                    (0..k).filter(|&j| passive[j]).collect();
+                let free: Vec<usize> = (0..k).filter(|&j| passive[j]).collect();
                 let z = solve_on_support(g, b, &free);
                 if z.iter().all(|&v| v > 0.0) {
                     x.fill(0.0);

@@ -21,9 +21,20 @@
 //! once per exchange round. The paper attributes BPP's practicality for
 //! NMF precisely to this regime (`k ≪ min(m,n)`, thousands of RHS, few
 //! distinct supports after the first iterations).
+//!
+//! ## Workspace reuse
+//!
+//! The solver is called once per factor per outer ANLS iteration with
+//! identical shapes, so all pivoting state lives in a solver-held
+//! [`BppScratch`]: the dual matrix `y`, the per-row pivot states, the
+//! passive-set grouping index (a `HashMap` plus a pool of row-index
+//! vectors whose allocations are recycled), and the per-group `G_FF` /
+//! RHS / factor buffers. After the first call nothing in the hot path
+//! allocates except pathological support churn that outgrows a buffer's
+//! retained capacity.
 
 use crate::NlsSolver;
-use nmf_matrix::{cholesky, cholesky_solve, solve_spd, Mat};
+use nmf_matrix::{cholesky_into, cholesky_solve_in_place, solve_spd, Mat};
 use std::collections::HashMap;
 
 /// Block-principal-pivoting solver.
@@ -39,15 +50,25 @@ pub struct Bpp {
     /// Backup-rule budget: full-block exchanges allowed after the
     /// infeasibility count last improved (Kim & Park use 3).
     pub backup_budget: u32,
+    /// Reused solver state (buffers only — carries no information
+    /// between calls). Public so struct-update construction
+    /// (`Bpp { group_columns: .., ..Bpp::default() }`) keeps working.
+    pub scratch: BppScratch,
 }
 
 impl Default for Bpp {
     fn default() -> Self {
-        Bpp { group_columns: true, max_rounds: 1000, backup_budget: 3 }
+        Bpp {
+            group_columns: true,
+            max_rounds: 1000,
+            backup_budget: 3,
+            scratch: BppScratch::default(),
+        }
     }
 }
 
 /// Per-row pivoting state.
+#[derive(Clone, Debug)]
 struct RowState {
     /// Bit `j` set ⇔ variable `j` is passive (free).
     passive: u128,
@@ -58,8 +79,37 @@ struct RowState {
     done: bool,
 }
 
+/// Reusable buffers held by a [`Bpp`] solver across calls (see the
+/// module docs). All fields are implementation detail.
+#[derive(Clone, Debug, Default)]
+pub struct BppScratch {
+    /// Dual matrix `y = G·x − Cᵀb` (r×k).
+    y: Mat,
+    /// Incoming iterate, kept for the monotonicity guard (r×k).
+    x_prev: Mat,
+    states: Vec<RowState>,
+    /// Passive-set mask → index into `group_rows`.
+    group_of: HashMap<u128, usize>,
+    /// Row-index pools, one per active group; allocations recycled.
+    group_rows: Vec<Vec<usize>>,
+    group_masks: Vec<u128>,
+    n_groups: usize,
+    /// Per-group solve buffers.
+    support: SupportScratch,
+}
+
+/// Buffers for one passive-set solve (`G_FF`, its factor, the stacked
+/// right-hand sides, the free-index list).
+#[derive(Clone, Debug, Default)]
+struct SupportScratch {
+    free: Vec<usize>,
+    gff: Mat,
+    factor: Mat,
+    rhs: Mat,
+}
+
 impl NlsSolver for Bpp {
-    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+    fn update(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
         self.solve(gram, ctb, x);
     }
 
@@ -78,20 +128,22 @@ impl Bpp {
     /// iterate. Like production ANLS codes, we guard monotonicity: if the
     /// fresh solve does not improve the (nonnegative, feasible) incoming
     /// `x`, the incoming iterate is kept.
-    pub fn solve(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
-        let x_in = x.clone();
+    pub fn solve(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+        let (r, k) = x.shape();
+        self.scratch.x_prev.resize(r, k);
+        self.scratch.x_prev.copy_from(x);
         self.solve_cold(gram, ctb, x);
-        if x_in.all_nonnegative() {
+        if self.scratch.x_prev.all_nonnegative() {
             let f_new = crate::nls_objective(gram, ctb, x);
-            let f_in = crate::nls_objective(gram, ctb, &x_in);
+            let f_in = crate::nls_objective(gram, ctb, &self.scratch.x_prev);
             if f_new > f_in {
-                *x = x_in;
+                x.copy_from(&self.scratch.x_prev);
             }
         }
     }
 
     /// The raw cold-start pivoting loop, without the monotonicity guard.
-    fn solve_cold(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+    fn solve_cold(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
         let k = gram.nrows();
         assert_eq!(gram.ncols(), k, "gram must be square");
         assert!(k <= 128, "BPP implementation supports k <= 128");
@@ -101,6 +153,7 @@ impl Bpp {
         if r == 0 || k == 0 {
             return;
         }
+        let scr = &mut self.scratch;
 
         // Initial partition: x = 0, y = −Cᵀb, all variables active.
         // (Kim & Park's standard cold start; warm starting from the
@@ -108,34 +161,30 @@ impl Bpp {
         // trajectories, which would break the paper's same-computations
         // initialization guarantee, so we keep the cold start.)
         x.as_mut_slice().fill(0.0);
-        let mut y = Mat::zeros(r, k);
-        for i in 0..r {
-            let yi = y.row_mut(i);
-            for (j, v) in yi.iter_mut().enumerate() {
-                *v = -ctb[(i, j)];
-            }
+        scr.y.resize(r, k);
+        for (yv, &cv) in scr.y.as_mut_slice().iter_mut().zip(ctb.as_slice()) {
+            *yv = -cv;
         }
 
-        let mut states: Vec<RowState> = (0..r)
-            .map(|_| RowState {
-                passive: 0,
-                best_infeasible: k as u32 + 1,
-                budget: self.backup_budget,
-                done: false,
-            })
-            .collect();
+        scr.states.clear();
+        scr.states.extend((0..r).map(|_| RowState {
+            passive: 0,
+            best_infeasible: k as u32 + 1,
+            budget: self.backup_budget,
+            done: false,
+        }));
 
         for _round in 0..self.max_rounds {
             // Phase 1: per-row infeasibility detection and set exchange.
             let mut any_pending = false;
             for i in 0..r {
-                let st = &mut states[i];
+                let st = &mut scr.states[i];
                 if st.done {
                     continue;
                 }
                 let mut infeasible: u128 = 0;
                 let xi = x.row(i);
-                let yi = y.row(i);
+                let yi = scr.y.row(i);
                 for j in 0..k {
                     let bit = 1u128 << j;
                     let bad = if st.passive & bit != 0 {
@@ -173,9 +222,46 @@ impl Bpp {
             // Phase 2: solve the unconstrained systems on the passive
             // sets and refresh x, y.
             if self.group_columns {
-                self.solve_grouped(gram, ctb, x, &mut y, &states);
+                // Group rows by passive set, recycling the row-index
+                // vectors and the map's buckets.
+                scr.group_of.clear();
+                scr.n_groups = 0;
+                for (i, st) in scr.states.iter().enumerate() {
+                    if st.done {
+                        continue;
+                    }
+                    let gi = *scr.group_of.entry(st.passive).or_insert_with(|| {
+                        let gi = scr.n_groups;
+                        scr.n_groups += 1;
+                        if scr.group_rows.len() < scr.n_groups {
+                            scr.group_rows.push(Vec::new());
+                            scr.group_masks.push(0);
+                        }
+                        scr.group_rows[gi].clear();
+                        scr.group_masks[gi] = st.passive;
+                        gi
+                    });
+                    scr.group_rows[gi].push(i);
+                }
+                for gi in 0..scr.n_groups {
+                    solve_support(
+                        gram,
+                        ctb,
+                        x,
+                        &mut scr.y,
+                        scr.group_masks[gi],
+                        &scr.group_rows[gi],
+                        &mut scr.support,
+                    );
+                }
             } else {
-                self.solve_rowwise(gram, ctb, x, &mut y, &states);
+                // One factorization per row (ablation baseline).
+                for i in 0..r {
+                    if !scr.states[i].done {
+                        let mask = scr.states[i].passive;
+                        solve_support(gram, ctb, x, &mut scr.y, mask, &[i], &mut scr.support);
+                    }
+                }
             }
         }
         // Round cap hit: keep the best-effort solution but make it
@@ -183,108 +269,81 @@ impl Bpp {
         // projection anyway.
         x.project_nonnegative();
     }
+}
 
-    /// Factorize `G_FF` once per distinct passive set.
-    fn solve_grouped(
-        &self,
-        gram: &Mat,
-        ctb: &Mat,
-        x: &mut Mat,
-        y: &mut Mat,
-        states: &[RowState],
-    ) {
-        let mut groups: HashMap<u128, Vec<usize>> = HashMap::new();
-        for (i, st) in states.iter().enumerate() {
-            if !st.done {
-                groups.entry(st.passive).or_default().push(i);
-            }
-        }
-        for (&mask, rows) in &groups {
-            self.solve_support(gram, ctb, x, y, mask, rows);
-        }
-    }
+/// Solves rows `rows` (all sharing passive set `mask`) and updates
+/// their `x` and `y` rows, using the caller's scratch buffers.
+fn solve_support(
+    gram: &Mat,
+    ctb: &Mat,
+    x: &mut Mat,
+    y: &mut Mat,
+    mask: u128,
+    rows: &[usize],
+    scr: &mut SupportScratch,
+) {
+    let k = gram.nrows();
+    scr.free.clear();
+    scr.free
+        .extend((0..k).filter(|&j| mask & (1u128 << j) != 0));
+    let free = &scr.free;
+    let f = free.len();
 
-    /// One factorization per row (ablation baseline).
-    fn solve_rowwise(
-        &self,
-        gram: &Mat,
-        ctb: &Mat,
-        x: &mut Mat,
-        y: &mut Mat,
-        states: &[RowState],
-    ) {
-        for (i, st) in states.iter().enumerate() {
-            if !st.done {
-                self.solve_support(gram, ctb, x, y, st.passive, &[i]);
-            }
-        }
-    }
-
-    /// Solves rows `rows` (all sharing passive set `mask`) and updates
-    /// their `x` and `y` rows.
-    fn solve_support(
-        &self,
-        gram: &Mat,
-        ctb: &Mat,
-        x: &mut Mat,
-        y: &mut Mat,
-        mask: u128,
-        rows: &[usize],
-    ) {
-        let k = gram.nrows();
-        let free: Vec<usize> = (0..k).filter(|&j| mask & (1u128 << j) != 0).collect();
-        let f = free.len();
-
-        if f == 0 {
-            // Entirely active: x = 0, y = −Cᵀb.
-            for &i in rows {
-                x.row_mut(i).fill(0.0);
-                let yi = y.row_mut(i);
-                for (j, v) in yi.iter_mut().enumerate() {
-                    *v = -ctb[(i, j)];
-                }
-            }
-            return;
-        }
-
-        // G_FF and the stacked right-hand sides (one column per row).
-        let mut gff = Mat::zeros(f, f);
-        for (a, &ja) in free.iter().enumerate() {
-            for (b, &jb) in free.iter().enumerate() {
-                gff[(a, b)] = gram[(ja, jb)];
-            }
-        }
-        let mut rhs = Mat::zeros(f, rows.len());
-        for (col, &i) in rows.iter().enumerate() {
-            for (a, &ja) in free.iter().enumerate() {
-                rhs[(a, col)] = ctb[(i, ja)];
-            }
-        }
-        let sol = match cholesky(&gff) {
-            Ok(l) => cholesky_solve(&l, &rhs),
-            Err(_) => solve_spd(&gff, &rhs).unwrap_or_else(|_| Mat::zeros(f, rows.len())),
-        };
-
-        for (col, &i) in rows.iter().enumerate() {
-            // x_F = solution, x elsewhere = 0.
-            let xi = x.row_mut(i);
-            xi.fill(0.0);
-            for (a, &ja) in free.iter().enumerate() {
-                xi[ja] = sol[(a, col)];
-            }
-            // y = G·x − Cᵀb on the active set; exactly 0 on F.
+    if f == 0 {
+        // Entirely active: x = 0, y = −Cᵀb.
+        for &i in rows {
+            x.row_mut(i).fill(0.0);
             let yi = y.row_mut(i);
-            for j in 0..k {
-                if mask & (1u128 << j) != 0 {
-                    yi[j] = 0.0;
-                } else {
-                    let mut v = -ctb[(i, j)];
-                    let grow = gram.row(j);
-                    for (a, &ja) in free.iter().enumerate() {
-                        v += grow[ja] * sol[(a, col)];
-                    }
-                    yi[j] = v;
+            for (j, v) in yi.iter_mut().enumerate() {
+                *v = -ctb[(i, j)];
+            }
+        }
+        return;
+    }
+
+    // G_FF and the stacked right-hand sides (one column per row).
+    scr.gff.resize(f, f);
+    for (a, &ja) in free.iter().enumerate() {
+        for (b, &jb) in free.iter().enumerate() {
+            scr.gff[(a, b)] = gram[(ja, jb)];
+        }
+    }
+    scr.rhs.resize(f, rows.len());
+    for (col, &i) in rows.iter().enumerate() {
+        for (a, &ja) in free.iter().enumerate() {
+            scr.rhs[(a, col)] = ctb[(i, ja)];
+        }
+    }
+    // Factor and solve in place: `rhs` holds the solution afterwards.
+    match cholesky_into(&scr.gff, &mut scr.factor) {
+        Ok(()) => cholesky_solve_in_place(&scr.factor, &mut scr.rhs),
+        Err(_) => {
+            // Semidefinite fallback (rare): shifted solve, allocating.
+            let sol = solve_spd(&scr.gff, &scr.rhs).unwrap_or_else(|_| Mat::zeros(f, rows.len()));
+            scr.rhs.copy_from(&sol);
+        }
+    }
+    let sol = &scr.rhs;
+
+    for (col, &i) in rows.iter().enumerate() {
+        // x_F = solution, x elsewhere = 0.
+        let xi = x.row_mut(i);
+        xi.fill(0.0);
+        for (a, &ja) in free.iter().enumerate() {
+            xi[ja] = sol[(a, col)];
+        }
+        // y = G·x − Cᵀb on the active set; exactly 0 on F.
+        let yi = y.row_mut(i);
+        for j in 0..k {
+            if mask & (1u128 << j) != 0 {
+                yi[j] = 0.0;
+            } else {
+                let mut v = -ctb[(i, j)];
+                let grow = gram.row(j);
+                for (a, &ja) in free.iter().enumerate() {
+                    v += grow[ja] * sol[(a, col)];
                 }
+                yi[j] = v;
             }
         }
     }
@@ -296,7 +355,7 @@ mod tests {
     use crate::nls_objective;
     use crate::reference::exhaustive_nnls;
     use nmf_matrix::rng::Fill;
-    use nmf_matrix::{gram, matmul_ta};
+    use nmf_matrix::{gram, matmul_ta, solve_spd};
 
     /// Builds a well-conditioned random NLS instance: G = CᵀC + δI,
     /// CtB from random C and B.
@@ -358,9 +417,38 @@ mod tests {
         let (g, ctb) = instance(8, 50, 11);
         let mut x_grouped = Mat::zeros(50, 8);
         let mut x_rowwise = Mat::zeros(50, 8);
-        Bpp { group_columns: true, ..Bpp::default() }.solve(&g, &ctb, &mut x_grouped);
-        Bpp { group_columns: false, ..Bpp::default() }.solve(&g, &ctb, &mut x_rowwise);
+        Bpp {
+            group_columns: true,
+            ..Bpp::default()
+        }
+        .solve(&g, &ctb, &mut x_grouped);
+        Bpp {
+            group_columns: false,
+            ..Bpp::default()
+        }
+        .solve(&g, &ctb, &mut x_rowwise);
         assert!(x_grouped.max_abs_diff(&x_rowwise) < 1e-9);
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_solver() {
+        // One solver instance reused across many calls (the driver
+        // pattern) must produce the same results as a fresh solver per
+        // call — scratch carries no state between calls.
+        let mut reused = Bpp::default();
+        for seed in 0..12 {
+            let k = 3 + (seed as usize % 6);
+            let r = 5 + (seed as usize % 17);
+            let (g, ctb) = instance(k, r, 300 + seed);
+            let mut x_reused = Mat::zeros(r, k);
+            reused.solve(&g, &ctb, &mut x_reused);
+            let mut x_fresh = Mat::zeros(r, k);
+            Bpp::default().solve(&g, &ctb, &mut x_fresh);
+            assert_eq!(
+                x_reused, x_fresh,
+                "seed {seed}: reused-scratch solve diverged from fresh solve"
+            );
+        }
     }
 
     #[test]
@@ -377,7 +465,7 @@ mod tests {
             g
         };
         let x_true = Mat::uniform(3, k, 43); // strictly positive rows
-        // ctb = G·x_true ⇒ unconstrained optimum is x_true itself.
+                                             // ctb = G·x_true ⇒ unconstrained optimum is x_true itself.
         let ctb = nmf_matrix::matmul_tb(&x_true, &g);
         let mut x = Mat::zeros(3, k);
         Bpp::default().solve(&g, &ctb, &mut x);
@@ -417,7 +505,10 @@ mod tests {
         clamped.project_nonnegative();
         let f_bpp = nls_objective(&g, &ctb, &x_bpp);
         let f_clamped = nls_objective(&g, &ctb, &clamped);
-        assert!(f_bpp <= f_clamped + 1e-9, "BPP {f_bpp} worse than clamped LS {f_clamped}");
+        assert!(
+            f_bpp <= f_clamped + 1e-9,
+            "BPP {f_bpp} worse than clamped LS {f_clamped}"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl Default for Hals {
 }
 
 impl NlsSolver for Hals {
-    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+    fn update(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
         assert_eq!(x.shape(), ctb.shape());
         let k = x.ncols();
         assert_eq!(gram.shape(), (k, k));
@@ -81,12 +81,15 @@ mod tests {
     fn objective_decreases_monotonically() {
         let (g, ctb) = instance(6, 10, 61);
         let mut x = Mat::uniform(10, 6, 62);
-        let hals = Hals::default();
+        let mut hals = Hals::default();
         let mut prev = nls_objective(&g, &ctb, &x);
         for _ in 0..25 {
             hals.update(&g, &ctb, &mut x);
             let cur = nls_objective(&g, &ctb, &x);
-            assert!(cur <= prev + 1e-9 * prev.abs().max(1.0), "HALS increased objective");
+            assert!(
+                cur <= prev + 1e-9 * prev.abs().max(1.0),
+                "HALS increased objective"
+            );
             prev = cur;
         }
     }
@@ -97,7 +100,7 @@ mod tests {
         // the global NNLS optimum; 200 sweeps on a tiny instance is ample.
         let (g, ctb) = instance(4, 3, 63);
         let mut x = Mat::uniform(3, 4, 64);
-        let hals = Hals::default();
+        let mut hals = Hals::default();
         for _ in 0..200 {
             hals.update(&g, &ctb, &mut x);
         }
@@ -118,7 +121,7 @@ mod tests {
     fn preserves_nonnegativity_and_finiteness() {
         let (g, ctb) = instance(5, 7, 65);
         let mut x = Mat::uniform(7, 5, 66);
-        let hals = Hals::default();
+        let mut hals = Hals::default();
         for _ in 0..10 {
             hals.update(&g, &ctb, &mut x);
             assert!(x.all_nonnegative());

@@ -45,13 +45,19 @@ pub use mu::Mu;
 
 /// A solver for the row-wise NLS problem
 /// `minimize Σᵢ ‖xᵢ‖²_G − 2·xᵢᵀ·CtBᵢ  subject to X ≥ 0`.
+///
+/// `update` takes `&mut self` so solvers can keep reusable workspaces
+/// (pivot states, grouping tables, factor buffers) across the one-call-
+/// per-factor-per-iteration pattern of the ANLS drivers — the scratch is
+/// buffer reuse only and must never carry *information* between calls
+/// (every call's result is a pure function of `gram`, `ctb`, and `x`).
 pub trait NlsSolver {
     /// Improves (or exactly solves, for BPP) `x` in place.
     ///
     /// * `gram` — `k×k` symmetric positive semidefinite `CᵀC`;
     /// * `ctb`  — `r×k`, row `i` is `Cᵀbᵢ`;
     /// * `x`    — `r×k` current iterate (must be nonnegative on entry).
-    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat);
+    fn update(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat);
 
     /// Short name for reports ("BPP", "MU", "HALS").
     fn name(&self) -> &'static str;
@@ -74,7 +80,7 @@ pub enum SolverKind {
 
 impl SolverKind {
     /// Instantiates the solver with default settings.
-    pub fn build(self) -> Box<dyn NlsSolver + Send + Sync> {
+    pub fn build(self) -> Box<dyn NlsSolver + Send> {
         match self {
             SolverKind::Bpp => Box::new(Bpp::default()),
             SolverKind::Mu => Box::new(Mu::default()),
@@ -83,8 +89,12 @@ impl SolverKind {
         }
     }
 
-    pub const ALL: [SolverKind; 4] =
-        [SolverKind::Bpp, SolverKind::Mu, SolverKind::Hals, SolverKind::ActiveSet];
+    pub const ALL: [SolverKind; 4] = [
+        SolverKind::Bpp,
+        SolverKind::Mu,
+        SolverKind::Hals,
+        SolverKind::ActiveSet,
+    ];
 }
 
 /// The (shifted) objective `Σᵢ xᵢᵀ·G·xᵢ − 2·xᵢᵀ·bᵢ`; differs from

@@ -20,29 +20,38 @@ use nmf_matrix::{matmul_tb_into, Mat};
 pub struct Mu {
     /// Denominator floor guarding division by zero.
     pub eps: f64,
+    /// Reused denominator buffer (`X·G`, r×k); buffer reuse only.
+    pub scratch: Mat,
 }
 
 impl Default for Mu {
     fn default() -> Self {
-        Mu { eps: 1e-16 }
+        Mu {
+            eps: 1e-16,
+            scratch: Mat::default(),
+        }
     }
 }
 
 impl NlsSolver for Mu {
-    fn update(&self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
+    fn update(&mut self, gram: &Mat, ctb: &Mat, x: &mut Mat) {
         assert_eq!(x.shape(), ctb.shape());
         assert_eq!(gram.nrows(), x.ncols());
         // Denominator X·G (G symmetric, so X·Gᵀ = X·G); 2rk² flops, the
         // "extra computation" the paper counts for MU.
-        let mut den = Mat::zeros(x.nrows(), x.ncols());
-        matmul_tb_into(x, gram, &mut den);
+        self.scratch.resize(x.nrows(), x.ncols());
+        let den = &mut self.scratch;
+        matmul_tb_into(x, gram, den);
         // MU cannot escape exact zeros; the conventional fix (also in
         // MATLAB's nnmf and the paper's reference implementations) is to
         // floor the numerator at 0 — the input CtB may carry negative
         // entries when the data matrix has them, and clamping keeps the
         // iterate nonnegative.
-        for ((xv, &num), &d) in
-            x.as_mut_slice().iter_mut().zip(ctb.as_slice()).zip(den.as_slice())
+        for ((xv, &num), &d) in x
+            .as_mut_slice()
+            .iter_mut()
+            .zip(ctb.as_slice())
+            .zip(den.as_slice())
         {
             let n = num.max(0.0);
             *xv *= n / d.max(self.eps);
@@ -71,12 +80,15 @@ mod tests {
     fn objective_decreases_monotonically() {
         let (g, ctb) = nonneg_instance(6, 10, 51);
         let mut x = Mat::uniform(10, 6, 52);
-        let mu = Mu::default();
+        let mut mu = Mu::default();
         let mut prev = nls_objective(&g, &ctb, &x);
         for _ in 0..25 {
             mu.update(&g, &ctb, &mut x);
             let cur = nls_objective(&g, &ctb, &x);
-            assert!(cur <= prev + 1e-9 * prev.abs().max(1.0), "MU increased objective");
+            assert!(
+                cur <= prev + 1e-9 * prev.abs().max(1.0),
+                "MU increased objective"
+            );
             prev = cur;
         }
     }
@@ -85,7 +97,7 @@ mod tests {
     fn preserves_nonnegativity() {
         let (g, ctb) = nonneg_instance(5, 8, 53);
         let mut x = Mat::uniform(8, 5, 54);
-        let mu = Mu::default();
+        let mut mu = Mu::default();
         for _ in 0..10 {
             mu.update(&g, &ctb, &mut x);
             assert!(x.all_nonnegative());

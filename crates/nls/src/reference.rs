@@ -57,9 +57,7 @@ pub fn exhaustive_nnls(g: &Mat, b: &[f64]) -> Vec<f64> {
             continue;
         }
         let obj: f64 = (0..k)
-            .map(|i| {
-                x[i] * (0..k).map(|j| g[(i, j)] * x[j]).sum::<f64>() - 2.0 * x[i] * b[i]
-            })
+            .map(|i| x[i] * (0..k).map(|j| g[(i, j)] * x[j]).sum::<f64>() - 2.0 * x[i] * b[i])
             .sum();
         let x_clamped: Vec<f64> = x.iter().map(|&v| v.max(0.0)).collect();
         match &best {

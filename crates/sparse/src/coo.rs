@@ -18,7 +18,11 @@ impl Coo {
     /// An empty `nrows × ncols` builder.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
-        Coo { nrows, ncols, entries: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// With reserved capacity for `cap` triplets.
@@ -31,7 +35,10 @@ impl Coo {
     /// Appends a triplet. Zero values are kept until conversion (they are
     /// dropped by `to_csr` after duplicate summing).
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        debug_assert!(row < self.nrows && col < self.ncols, "coo entry out of bounds");
+        debug_assert!(
+            row < self.nrows && col < self.ncols,
+            "coo entry out of bounds"
+        );
         self.entries.push((row as u32, col as u32, value));
     }
 

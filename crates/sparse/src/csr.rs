@@ -32,8 +32,16 @@ impl Csr {
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at nnz");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr must end at nnz"
+        );
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
         for i in 0..nrows {
             assert!(indptr[i] <= indptr[i + 1], "indptr must be nondecreasing");
             let row = &indices[indptr[i]..indptr[i + 1]];
@@ -44,12 +52,24 @@ impl Csr {
                 assert!(last < ncols, "column index out of bounds");
             }
         }
-        Csr { nrows, ncols, indptr, indices, values }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An empty matrix with no nonzeros.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csr { nrows, ncols, indptr: vec![0; nrows + 1], indices: vec![], values: vec![] }
+        Csr {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: vec![],
+            values: vec![],
+        }
     }
 
     /// Builds from a dense matrix, keeping entries with `|x| > 0`.
@@ -151,7 +171,13 @@ impl Csr {
                 next[j] += 1;
             }
         }
-        Csr { nrows: self.ncols, ncols: self.nrows, indptr, indices, values }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Extracts the sub-block with rows `r0..r0+nr` and columns
@@ -160,7 +186,10 @@ impl Csr {
     /// This is how the input matrix is dealt onto the `pr × pc` processor
     /// grid: rank `(i, j)` owns `A.block(...)` of its row/column ranges.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Csr {
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "block out of bounds");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "block out of bounds"
+        );
         let mut indptr = Vec::with_capacity(nr + 1);
         indptr.push(0);
         let mut indices = Vec::new();
@@ -177,7 +206,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Csr { nrows: nr, ncols: nc, indptr, indices, values }
+        Csr {
+            nrows: nr,
+            ncols: nc,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Rows `r0..r0+nr` as a block (all columns).
@@ -193,7 +228,9 @@ impl Csr {
     /// Per-row nonzero counts (degree sequence when the matrix is an
     /// adjacency matrix).
     pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.nrows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+        (0..self.nrows)
+            .map(|i| self.indptr[i + 1] - self.indptr[i])
+            .collect()
     }
 }
 

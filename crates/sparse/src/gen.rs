@@ -66,12 +66,7 @@ pub fn erdos_renyi(nrows: usize, ncols: usize, density: f64, seed: u64) -> Csr {
 /// sampled by drawing endpoints proportional to the weights, giving the
 /// heavy-tailed degree distribution of a web crawl. Edge weights are 1.0
 /// (adjacency), matching NMF-for-graph-clustering usage.
-pub fn chung_lu_power_law(
-    nodes: usize,
-    target_edges: usize,
-    gamma: f64,
-    seed: u64,
-) -> Csr {
+pub fn chung_lu_power_law(nodes: usize, target_edges: usize, gamma: f64, seed: u64) -> Csr {
     assert!(gamma > 1.0, "power-law exponent must exceed 1");
     let mut rng = StdRng::seed_from_u64(seed);
     let expo = -1.0 / (gamma - 1.0);
@@ -142,7 +137,11 @@ mod tests {
     #[test]
     fn chung_lu_has_heavy_head() {
         let g = chung_lu_power_law(1000, 5000, 2.1, 9);
-        assert!(g.nnz() > 0 && g.nnz() <= 5000, "duplicates may merge: {}", g.nnz());
+        assert!(
+            g.nnz() > 0 && g.nnz() <= 5000,
+            "duplicates may merge: {}",
+            g.nnz()
+        );
         let mut deg = g.row_degrees();
         deg.sort_unstable_by(|a, b| b.cmp(a));
         // Power-law: the top node should hold far more than the mean degree.

@@ -47,15 +47,15 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 }
 
 struct Header {
-    format: String,    // "coordinate" | "array"
-    field: String,     // "real" | "integer" | "pattern"
-    symmetry: String,  // "general" | "symmetric"
+    format: String,   // "coordinate" | "array"
+    field: String,    // "real" | "integer" | "pattern"
+    symmetry: String, // "general" | "symmetric"
 }
 
-fn read_header(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Header, MmError> {
-    let first = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+fn read_header(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<Header, MmError> {
+    let first = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let toks: Vec<&str> = first.split_whitespace().collect();
     if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err("missing %%MatrixMarket banner"));
@@ -88,12 +88,17 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Csr, MmError> {
     }
     let symmetric = header.symmetry == "symmetric";
     if !symmetric && header.symmetry != "general" {
-        return Err(parse_err(format!("unsupported symmetry '{}'", header.symmetry)));
+        return Err(parse_err(format!(
+            "unsupported symmetry '{}'",
+            header.symmetry
+        )));
     }
 
     // Skip comments, read the size line.
     let size_line = loop {
-        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
         let t = line.trim();
         if !t.is_empty() && !t.starts_with('%') {
             break line;
@@ -101,7 +106,10 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Csr, MmError> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token '{t}'"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size token '{t}'")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err("size line must be 'rows cols nnz'"));
@@ -136,7 +144,9 @@ pub fn read_matrix_market(reader: impl Read) -> Result<Csr, MmError> {
                 .map_err(|_| parse_err("bad value"))?
         };
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(format!("entry ({i}, {j}) out of bounds (1-based)")));
+            return Err(parse_err(format!(
+                "entry ({i}, {j}) out of bounds (1-based)"
+            )));
         }
         coo.push(i - 1, j - 1, v);
         if symmetric && i != j {
@@ -157,13 +167,17 @@ pub fn read_matrix_market_dense(reader: impl Read) -> Result<Mat, MmError> {
     let mut lines = buf.lines();
     let header = read_header(&mut lines)?;
     if header.format != "array" {
-        return Err(parse_err("expected array format (use read_matrix_market for sparse)"));
+        return Err(parse_err(
+            "expected array format (use read_matrix_market for sparse)",
+        ));
     }
     if header.field != "real" && header.field != "integer" {
         return Err(parse_err(format!("unsupported field '{}'", header.field)));
     }
     let size_line = loop {
-        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
         let t = line.trim();
         if !t.is_empty() && !t.starts_with('%') {
             break line;
@@ -185,7 +199,9 @@ pub fn read_matrix_market_dense(reader: impl Read) -> Result<Mat, MmError> {
             if tok.starts_with('%') {
                 break;
             }
-            let v: f64 = tok.parse().map_err(|_| parse_err(format!("bad value '{tok}'")))?;
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| parse_err(format!("bad value '{tok}'")))?;
             if idx >= nrows * ncols {
                 return Err(parse_err("too many values"));
             }
@@ -196,7 +212,10 @@ pub fn read_matrix_market_dense(reader: impl Read) -> Result<Mat, MmError> {
         }
     }
     if idx != nrows * ncols {
-        return Err(parse_err(format!("expected {} values, found {idx}", nrows * ncols)));
+        return Err(parse_err(format!(
+            "expected {} values, found {idx}",
+            nrows * ncols
+        )));
     }
     Ok(m)
 }

@@ -21,4 +21,7 @@ pub mod spmm;
 
 pub use coo::Coo;
 pub use csr::Csr;
-pub use spmm::{spmm_at_dense, spmm_dense_t};
+pub use spmm::{
+    spmm_at_dense, spmm_at_dense_into, spmm_at_dense_par, spmm_dense_t, spmm_dense_t_into,
+    spmm_dense_t_par, spmm_dense_t_par_into,
+};

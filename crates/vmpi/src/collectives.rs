@@ -22,6 +22,25 @@
 //! Every payload word and message is recorded in the rank's
 //! [`CommStats`](crate::stats::CommStats) so tests can compare counted
 //! communication against the paper's Table 2 formulas.
+//!
+//! ## Allocation discipline
+//!
+//! The hot collectives come in two forms: allocating (`all_reduce`,
+//! `all_gatherv`, `reduce_scatter`) and caller-owned-output `_into`
+//! variants (`all_reduce_into`, `all_gather_into`, `all_gatherv_into`,
+//! `reduce_scatter_into`). The `_into` variants, combined with the
+//! communicator's staging arena (see `comm::Arena`), perform **zero heap
+//! allocations in steady state**: Bruck's rotated block buffer, the
+//! halving accumulator, and all prefix-sum tables are checked out of the
+//! arena and returned, retaining their capacity between calls. The NMF
+//! iteration loops call only the `_into` forms. (Message payloads
+//! crossing the channel transport are still boxed by the transport — that
+//! is the virtual interconnect, not the compute path.)
+//!
+//! Equal-block collectives (`all_gather`, `all_gather_into`, and the
+//! segment layout inside `all_reduce` when `p | n`) use a constant-space
+//! [`Counts::Eq`] descriptor instead of materializing a `vec![len; p]`
+//! per call.
 
 use crate::comm::{Comm, Kind};
 use crate::stats::Op;
@@ -41,13 +60,44 @@ pub fn prev_pow2(p: usize) -> usize {
     1 << (usize::BITS - 1 - p.leading_zeros())
 }
 
-fn prefix_sums(counts: &[usize]) -> Vec<usize> {
-    let mut off = Vec::with_capacity(counts.len() + 1);
-    off.push(0);
-    for &c in counts {
-        off.push(off.last().unwrap() + c);
+/// Per-rank block lengths of a `v`-style collective, without forcing the
+/// equal-block case to materialize a vector.
+#[derive(Clone, Copy)]
+pub(crate) enum Counts<'a> {
+    /// Every rank contributes the same number of words.
+    Eq(usize),
+    /// Rank `r` contributes `counts[r]` words.
+    Var(&'a [usize]),
+}
+
+impl Counts<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            Counts::Eq(len) => *len,
+            Counts::Var(c) => c[i],
+        }
     }
-    off
+
+    #[inline]
+    fn total(&self, p: usize) -> usize {
+        match self {
+            Counts::Eq(len) => len * p,
+            Counts::Var(c) => c.iter().sum(),
+        }
+    }
+}
+
+/// Appends the prefix sums of `count_of(0..n)` to `out` (which must be
+/// empty): `out[i] = Σ_{t<i} count_of(t)`, length `n + 1`. One
+/// implementation for every offset table the collectives build (rotated
+/// Bruck blocks, rank segments, virtual fold chunks).
+fn prefix_sums_into(n: usize, out: &mut Vec<usize>, count_of: impl Fn(usize) -> usize) {
+    debug_assert!(out.is_empty());
+    out.push(0);
+    for i in 0..n {
+        out.push(out[i] + count_of(i));
+    }
 }
 
 fn add_into(acc: &mut [f64], other: &[f64]) {
@@ -65,68 +115,117 @@ impl Comm {
     /// All-gather with equal block sizes: every rank contributes `send`
     /// and receives the concatenation over ranks in rank order.
     pub fn all_gather(&self, send: &[f64]) -> Vec<f64> {
-        let counts = vec![send.len(); self.size()];
-        self.all_gatherv(send, &counts)
+        let mut out = vec![0.0; send.len() * self.size()];
+        self.all_gather_into(send, &mut out);
+        out
+    }
+
+    /// Equal-block all-gather into caller-owned `out`
+    /// (`send.len() * size()` words, blocks in rank order).
+    pub fn all_gather_into(&self, send: &[f64], out: &mut [f64]) {
+        let seq = self.next_seq();
+        self.timed(Op::AllGather, || {
+            self.bruck_all_gatherv_into(send, Counts::Eq(send.len()), out, seq, Op::AllGather)
+        });
     }
 
     /// All-gather with per-rank block sizes (`counts[r]` is rank `r`'s
     /// contribution length; must all be known on every rank, as in
     /// `MPI_Allgatherv`).
     pub fn all_gatherv(&self, send: &[f64], counts: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; counts.iter().sum()];
+        self.all_gatherv_into(send, counts, &mut out);
+        out
+    }
+
+    /// `v`-variant all-gather into caller-owned `out` (length must equal
+    /// the sum of `counts`).
+    pub fn all_gatherv_into(&self, send: &[f64], counts: &[usize], out: &mut [f64]) {
+        assert_eq!(
+            counts.len(),
+            self.size(),
+            "counts must have one entry per rank"
+        );
         let seq = self.next_seq();
-        self.timed(Op::AllGather, || self.bruck_all_gatherv(send, counts, seq, Op::AllGather))
+        self.timed(Op::AllGather, || {
+            self.bruck_all_gatherv_into(send, Counts::Var(counts), out, seq, Op::AllGather)
+        });
     }
 
     /// Bruck all-gather over point-to-point exchanges. `⌈log₂ p⌉` rounds;
     /// in round `t` a rank ships the `min(2ᵗ, p−2ᵗ)` blocks it holds.
-    pub(crate) fn bruck_all_gatherv(
+    ///
+    /// Blocks are staged in *rotated* order (position `t` holds the block
+    /// of rank `(r+t) mod p`): the initial block and every received run
+    /// of blocks append contiguously, so each round's send is a prefix of
+    /// the staging buffer and the only data movement beyond the wire is
+    /// the final unrotation into `out`. The staging buffer and the
+    /// rotated prefix table come from the communicator arena.
+    pub(crate) fn bruck_all_gatherv_into(
         &self,
         send: &[f64],
-        counts: &[usize],
+        counts: Counts<'_>,
+        out: &mut [f64],
         seq: u64,
         op: Op,
-    ) -> Vec<f64> {
+    ) {
         let p = self.size();
         let r = self.rank();
-        assert_eq!(counts.len(), p, "counts must have one entry per rank");
-        assert_eq!(counts[r], send.len(), "my block length disagrees with counts");
+        assert_eq!(
+            counts.get(r),
+            send.len(),
+            "my block length disagrees with counts"
+        );
+        assert_eq!(
+            out.len(),
+            counts.total(p),
+            "all-gather output length mismatch"
+        );
         if p == 1 {
-            return send.to_vec();
+            out.copy_from_slice(send);
+            return;
         }
-        // blocks[i] holds the block of rank (r + i) mod p.
-        let mut blocks: Vec<Box<[f64]>> = Vec::with_capacity(p);
-        blocks.push(send.into());
+
+        // rot_off[t] = words of rotated blocks 0..t; rotated block t is
+        // the block of rank (r + t) mod p.
+        let mut rot_off = self.take_idx();
+        prefix_sums_into(p, &mut rot_off, |t| counts.get((r + t) % p));
+
+        let mut rot = self.take_buf();
+        rot.reserve(rot_off[p]);
+        rot.extend_from_slice(send);
+
         let mut have = 1usize;
         let mut round = 0u64;
         while have < p {
             let cnt = have.min(p - have);
             let dst = (r + p - have) % p;
             let src = (r + have) % p;
-            let send_words: usize = blocks[..cnt].iter().map(|b| b.len()).sum();
-            let mut buf = Vec::with_capacity(send_words);
-            for b in &blocks[..cnt] {
-                buf.extend_from_slice(b);
-            }
             let tag = self.tag(Kind::AllGather, (seq << 6) | round);
-            let data = self.exchange(dst, src, tag, &buf, op);
-            // Incoming blocks belong to ranks src, src+1, ..., src+cnt-1.
-            let mut off = 0;
-            for t in 0..cnt {
-                let len = counts[(src + t) % p];
-                blocks.push(data[off..off + len].into());
-                off += len;
-            }
-            assert_eq!(off, data.len(), "all-gather round payload length mismatch");
+            // Ship rotated blocks [0, cnt): a contiguous prefix. Receive
+            // the blocks of ranks src..src+cnt — rotated positions
+            // have..have+cnt — which append contiguously.
+            let data = self.exchange(dst, src, tag, &rot[..rot_off[cnt]], op);
+            assert_eq!(
+                data.len(),
+                rot_off[have + cnt] - rot_off[have],
+                "all-gather round payload length mismatch"
+            );
+            rot.extend_from_slice(&data);
             have += cnt;
             round += 1;
         }
-        // Unrotate: output block j is blocks[(j − r) mod p].
-        let total: usize = counts.iter().sum();
-        let mut out = Vec::with_capacity(total);
+
+        // Unrotate: output block j is rotated block (j − r) mod p.
+        let mut off = 0;
         for j in 0..p {
-            out.extend_from_slice(&blocks[(j + p - r) % p]);
+            let t = (j + p - r) % p;
+            let len = rot_off[t + 1] - rot_off[t];
+            out[off..off + len].copy_from_slice(&rot[rot_off[t]..rot_off[t] + len]);
+            off += len;
         }
-        out
+        self.put_buf(rot);
+        self.put_idx(rot_off);
     }
 
     // ------------------------------------------------------------------
@@ -138,37 +237,63 @@ impl Comm {
     /// order). Recursive-halving algorithm with a fold step for
     /// non-power-of-two `p`.
     pub fn reduce_scatter(&self, data: &[f64], counts: &[usize]) -> Vec<f64> {
-        let seq = self.next_seq();
-        self.timed(Op::ReduceScatter, || {
-            self.halving_reduce_scatter(data, counts, seq, Op::ReduceScatter)
-        })
+        let mut out = vec![0.0; counts[self.rank()]];
+        self.reduce_scatter_into(data, counts, &mut out);
+        out
     }
 
-    pub(crate) fn halving_reduce_scatter(
+    /// Reduce-scatter into caller-owned `out` (length `counts[rank]`).
+    pub fn reduce_scatter_into(&self, data: &[f64], counts: &[usize], out: &mut [f64]) {
+        assert_eq!(
+            counts.len(),
+            self.size(),
+            "counts must have one entry per rank"
+        );
+        let seq = self.next_seq();
+        self.timed(Op::ReduceScatter, || {
+            self.halving_reduce_scatter_into(data, Counts::Var(counts), out, seq, Op::ReduceScatter)
+        });
+    }
+
+    pub(crate) fn halving_reduce_scatter_into(
         &self,
         data: &[f64],
-        counts: &[usize],
+        counts: Counts<'_>,
+        out: &mut [f64],
         seq: u64,
         op: Op,
-    ) -> Vec<f64> {
+    ) {
         let p = self.size();
         let r = self.rank();
-        assert_eq!(counts.len(), p, "counts must have one entry per rank");
-        let off = prefix_sums(counts);
-        assert_eq!(data.len(), *off.last().unwrap(), "data length must equal sum of counts");
+        assert_eq!(
+            data.len(),
+            counts.total(p),
+            "data length must equal sum of counts"
+        );
+        assert_eq!(
+            out.len(),
+            counts.get(r),
+            "reduce-scatter output length mismatch"
+        );
         if p == 1 {
-            return data.to_vec();
+            out.copy_from_slice(data);
+            return;
         }
         let t = |round: u64| self.tag(Kind::ReduceScatter, (seq << 6) | round);
 
+        // off[i] = start of rank i's segment in `data`.
+        let mut off = self.take_idx();
+        prefix_sums_into(p, &mut off, |i| counts.get(i));
+
         let pof2 = prev_pow2(p);
         let rem = p - pof2;
-        let mut buf = data.to_vec();
+        let mut buf = self.take_buf();
+        buf.extend_from_slice(data);
 
         // Fold: the first 2·rem ranks pair up; evens ship their whole
         // vector to their odd neighbour and drop out of the halving.
         let newrank: Option<usize> = if r < 2 * rem {
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 self.send_op(r + 1, t(0), &buf, op);
                 None
             } else {
@@ -182,11 +307,16 @@ impl Comm {
 
         // Virtual chunk v aggregates the real chunks of the rank(s) that
         // fold onto surviving rank v: {2v, 2v+1} for v < rem, {v + rem}
-        // otherwise. Virtual chunks are contiguous in `buf`.
-        let vcounts: Vec<usize> = (0..pof2)
-            .map(|v| if v < rem { counts[2 * v] + counts[2 * v + 1] } else { counts[v + rem] })
-            .collect();
-        let voff = prefix_sums(&vcounts);
+        // otherwise. Virtual chunks are contiguous in `buf`; voff is
+        // their prefix-sum table.
+        let mut voff = self.take_idx();
+        prefix_sums_into(pof2, &mut voff, |v| {
+            if v < rem {
+                counts.get(2 * v) + counts.get(2 * v + 1)
+            } else {
+                counts.get(v + rem)
+            }
+        });
         let real_of = |nr: usize| if nr < rem { 2 * nr + 1 } else { nr + rem };
 
         match newrank {
@@ -198,13 +328,23 @@ impl Comm {
                     let mid = lo + dist;
                     let partner = real_of(nr ^ dist);
                     if nr < mid {
-                        let recv =
-                            self.exchange(partner, partner, t(round), &buf[voff[mid]..voff[hi]], op);
+                        let recv = self.exchange(
+                            partner,
+                            partner,
+                            t(round),
+                            &buf[voff[mid]..voff[hi]],
+                            op,
+                        );
                         add_into(&mut buf[voff[lo]..voff[mid]], &recv);
                         hi = mid;
                     } else {
-                        let recv =
-                            self.exchange(partner, partner, t(round), &buf[voff[lo]..voff[mid]], op);
+                        let recv = self.exchange(
+                            partner,
+                            partner,
+                            t(round),
+                            &buf[voff[lo]..voff[mid]],
+                            op,
+                        );
                         add_into(&mut buf[voff[mid]..voff[hi]], &recv);
                         lo = mid;
                     }
@@ -218,13 +358,16 @@ impl Comm {
                     // partner) and 2nr+1 (me). Ship the partner's segment
                     // back.
                     self.send_op(2 * nr, t(40), &buf[off[2 * nr]..off[2 * nr + 1]], op);
-                    buf[off[2 * nr + 1]..off[2 * nr + 2]].to_vec()
+                    out.copy_from_slice(&buf[off[2 * nr + 1]..off[2 * nr + 2]]);
                 } else {
-                    buf[off[nr + rem]..off[nr + rem + 1]].to_vec()
+                    out.copy_from_slice(&buf[off[nr + rem]..off[nr + rem + 1]]);
                 }
             }
-            None => self.recv_op(r + 1, t(40)).into_vec(),
+            None => out.copy_from_slice(&self.recv_op(r + 1, t(40))),
         }
+        self.put_buf(buf);
+        self.put_idx(voff);
+        self.put_idx(off);
     }
 
     /// Ring reduce-scatter (ablation alternative): `p−1` rounds, same
@@ -237,7 +380,8 @@ impl Comm {
         let p = self.size();
         let r = self.rank();
         assert_eq!(counts.len(), p);
-        let off = prefix_sums(counts);
+        let mut off = Vec::with_capacity(p + 1);
+        prefix_sums_into(p, &mut off, |i| counts[i]);
         assert_eq!(data.len(), *off.last().unwrap());
         let seq = self.next_seq();
         self.timed(Op::ReduceScatter, || {
@@ -269,21 +413,44 @@ impl Comm {
     /// All-reduce (element-wise sum) via Rabenseifner's algorithm:
     /// reduce-scatter over near-equal segments, then all-gather.
     pub fn all_reduce(&self, data: &[f64]) -> Vec<f64> {
+        let mut out = data.to_vec();
+        self.all_reduce_into(&mut out);
+        out
+    }
+
+    /// In-place all-reduce: on return every rank's `data` holds the
+    /// element-wise sum across ranks. Zero allocations in steady state
+    /// (scratch comes from the communicator arena).
+    pub fn all_reduce_into(&self, data: &mut [f64]) {
         let p = self.size();
         let seq = self.next_seq();
         self.timed(Op::AllReduce, || {
             if p == 1 {
-                return data.to_vec();
+                return;
             }
             let n = data.len();
             let base = n / p;
             let extra = n % p;
-            let counts: Vec<usize> =
-                (0..p).map(|r| base + usize::from(r < extra)).collect();
-            let mine = self.halving_reduce_scatter(data, &counts, seq, Op::AllReduce);
-            let seq2 = self.next_seq();
-            self.bruck_all_gatherv(&mine, &counts, seq2, Op::AllReduce)
-        })
+            let mut seg = self.take_buf();
+            if extra == 0 {
+                // Equal-segment fast path: no counts table at all.
+                let counts = Counts::Eq(base);
+                seg.resize(base, 0.0);
+                self.halving_reduce_scatter_into(data, counts, &mut seg, seq, Op::AllReduce);
+                let seq2 = self.next_seq();
+                self.bruck_all_gatherv_into(&seg, counts, data, seq2, Op::AllReduce);
+            } else {
+                let mut cvec = self.take_idx();
+                cvec.extend((0..p).map(|r| base + usize::from(r < extra)));
+                let counts = Counts::Var(&cvec);
+                seg.resize(cvec[self.rank()], 0.0);
+                self.halving_reduce_scatter_into(data, counts, &mut seg, seq, Op::AllReduce);
+                let seq2 = self.next_seq();
+                self.bruck_all_gatherv_into(&seg, counts, data, seq2, Op::AllReduce);
+                self.put_idx(cvec);
+            }
+            self.put_buf(seg);
+        });
     }
 
     /// All-reduce via binomial-tree reduce to rank 0 plus binomial
@@ -303,11 +470,15 @@ impl Comm {
             let mut dist = 1usize;
             while dist < p {
                 if r & dist != 0 {
-                    self.send_op(r - dist, t(dist.trailing_zeros() as u64), &buf, Op::AllReduce);
+                    self.send_op(
+                        r - dist,
+                        t(dist.trailing_zeros() as u64),
+                        &buf,
+                        Op::AllReduce,
+                    );
                     break;
                 } else if r + dist < p {
-                    let other =
-                        self.recv_op(r + dist, t(dist.trailing_zeros() as u64));
+                    let other = self.recv_op(r + dist, t(dist.trailing_zeros() as u64));
                     add_into(&mut buf, &other);
                 }
                 dist <<= 1;
@@ -319,7 +490,9 @@ impl Comm {
 
     /// Convenience: all-reduce of one scalar.
     pub fn all_reduce_scalar(&self, x: f64) -> f64 {
-        self.all_reduce(&[x])[0]
+        let mut v = [x];
+        self.all_reduce_into(&mut v);
+        v[0]
     }
 
     // ------------------------------------------------------------------

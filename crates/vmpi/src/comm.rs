@@ -19,6 +19,36 @@ pub(crate) enum Kind {
     AllReduce = 8,
 }
 
+/// Reusable staging buffers for the collective algorithms.
+///
+/// Every Bruck / recursive-halving round needs scratch storage (the
+/// rotated block buffer, the reduction accumulator, prefix-sum tables).
+/// Allocating those per call would put `malloc` on the per-iteration hot
+/// path of the NMF drivers, so each rank keeps an arena of returned
+/// buffers instead: a collective checks a buffer out, grows it if needed
+/// (capacity is retained across calls), and checks it back in on exit.
+/// After the first iteration of a steady-state loop every checkout is
+/// allocation-free.
+#[derive(Default)]
+pub(crate) struct Arena {
+    f64s: Vec<Vec<f64>>,
+    usizes: Vec<Vec<usize>>,
+}
+
+impl Arena {
+    fn take_f64(&mut self) -> Vec<f64> {
+        let mut v = self.f64s.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn take_usize(&mut self) -> Vec<usize> {
+        let mut v = self.usizes.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+}
+
 /// A communicator: a named, ordered group of ranks sharing a collective
 /// sequence space, analogous to an `MPI_Comm`.
 ///
@@ -28,6 +58,10 @@ pub(crate) enum Kind {
 pub struct Comm {
     pub(crate) ep: Rc<Endpoints>,
     pub(crate) stats: Rc<RefCell<CommStats>>,
+    /// Staging arena shared by this rank's communicators (a collective
+    /// runs on one comm at a time, so sharing maximizes buffer reuse
+    /// between the world comm and its row/column splits).
+    pub(crate) arena: Rc<RefCell<Arena>>,
     /// World ranks of the members, indexed by comm rank.
     members: Vec<usize>,
     /// This rank's position within `members`.
@@ -48,6 +82,7 @@ impl Comm {
         Comm {
             ep: Rc::new(ep),
             stats: Rc::new(RefCell::new(CommStats::new())),
+            arena: Rc::new(RefCell::new(Arena::default())),
             members: (0..p).collect(),
             rank,
             comm_id: 0x1,
@@ -80,6 +115,28 @@ impl Comm {
     /// sub-communicators derived from it, so this is the rank's total.
     pub fn stats(&self) -> CommStats {
         self.stats.borrow().clone()
+    }
+
+    /// Checks a reusable `f64` staging buffer out of the arena (empty,
+    /// with whatever capacity past calls built up).
+    pub(crate) fn take_buf(&self) -> Vec<f64> {
+        self.arena.borrow_mut().take_f64()
+    }
+
+    /// Returns a staging buffer to the arena for reuse.
+    pub(crate) fn put_buf(&self, v: Vec<f64>) {
+        self.arena.borrow_mut().f64s.push(v);
+    }
+
+    /// Checks a reusable `usize` scratch table (offsets, counts) out of
+    /// the arena.
+    pub(crate) fn take_idx(&self) -> Vec<usize> {
+        self.arena.borrow_mut().take_usize()
+    }
+
+    /// Returns a scratch table to the arena for reuse.
+    pub(crate) fn put_idx(&self, v: Vec<usize>) {
+        self.arena.borrow_mut().usizes.push(v);
     }
 
     pub(crate) fn tag(&self, kind: Kind, seq: u64) -> u64 {
@@ -124,7 +181,10 @@ impl Comm {
     /// Point-to-point receive from comm rank `src` with a user `tag`.
     pub fn recv(&self, src: usize, tag: u32) -> Vec<f64> {
         assert!(tag < (1 << 24), "user tag must fit in 24 bits");
-        self.timed(Op::P2p, || self.recv_op(src, self.tag(Kind::P2p, tag as u64)).into_vec())
+        self.timed(Op::P2p, || {
+            self.recv_op(src, self.tag(Kind::P2p, tag as u64))
+                .into_vec()
+        })
     }
 
     /// Simultaneous exchange used by the collective inner loops: sends to
@@ -151,8 +211,14 @@ impl Comm {
         // can compute every group deterministically.
         let seq = self.next_seq();
         let mine = [color as f64, key as f64];
-        let counts = vec![2; self.size()];
-        let gathered = self.bruck_all_gatherv(&mine, &counts, seq, Op::P2p);
+        let mut gathered = vec![0.0; 2 * self.size()];
+        self.bruck_all_gatherv_into(
+            &mine,
+            crate::collectives::Counts::Eq(2),
+            &mut gathered,
+            seq,
+            Op::P2p,
+        );
         let child_index = self.children.get();
         self.children.set(child_index + 1);
 
@@ -172,6 +238,7 @@ impl Comm {
         Comm {
             ep: Rc::clone(&self.ep),
             stats: Rc::clone(&self.stats),
+            arena: Rc::clone(&self.arena),
             members,
             rank,
             comm_id: splitmix64(

@@ -31,7 +31,11 @@ impl CostModel {
     /// bandwidth (~2.5e-8 s per 8-byte word); MPI latency ~2 µs; ~5
     /// Gflop/s per-core compute.
     pub fn edison_like() -> Self {
-        CostModel { alpha: 2e-6, beta: 2.5e-8, gamma: 2e-10 }
+        CostModel {
+            alpha: 2e-6,
+            beta: 2.5e-8,
+            gamma: 2e-10,
+        }
     }
 
     fn frac(p: usize) -> f64 {
@@ -60,8 +64,7 @@ impl CostModel {
         if p <= 1 {
             return 0.0;
         }
-        self.alpha * log2_ceil(p) as f64
-            + (self.beta + self.gamma) * Self::frac(p) * n as f64
+        self.alpha * log2_ceil(p) as f64 + (self.beta + self.gamma) * Self::frac(p) * n as f64
     }
 
     /// All-reduce of size `n` words over `p` ranks (Rabenseifner).
@@ -93,20 +96,32 @@ mod tests {
 
     #[test]
     fn all_reduce_is_twice_all_gather_latency() {
-        let m = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         assert_eq!(m.all_reduce(8, 100), 2.0 * m.all_gather(8, 100));
     }
 
     #[test]
     fn bandwidth_term_scales_with_words() {
-        let m = CostModel { alpha: 0.0, beta: 1.0, gamma: 0.0 };
+        let m = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
         let c1 = m.all_gather(4, 400);
         assert!((c1 - 300.0).abs() < 1e-12); // (p-1)/p * n = 3/4 * 400
     }
 
     #[test]
     fn latency_grows_logarithmically() {
-        let m = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         assert_eq!(m.all_gather(2, 0), 1.0);
         assert_eq!(m.all_gather(600, 0), 10.0); // ceil(log2 600) = 10
     }

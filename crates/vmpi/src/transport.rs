@@ -31,6 +31,7 @@ impl Endpoints {
         // chan[src][dst]
         let mut senders: Vec<Vec<Sender<Msg>>> = vec![Vec::with_capacity(p); p];
         let mut receivers: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::new()).collect();
+        #[allow(clippy::needless_range_loop)] // index pair mirrors the mesh layout
         for src in 0..p {
             for dst in 0..p {
                 let (tx, rx) = unbounded();
@@ -59,7 +60,10 @@ impl Endpoints {
     /// Receives the next message from world rank `src`, asserting the tag.
     pub fn recv(&self, src: usize, expect_tag: u64) -> Box<[f64]> {
         let msg = self.inc[src].recv().unwrap_or_else(|_| {
-            panic!("rank {}: peer {src} disconnected (likely panicked)", self.rank)
+            panic!(
+                "rank {}: peer {src} disconnected (likely panicked)",
+                self.rank
+            )
         });
         assert_eq!(
             msg.tag, expect_tag,

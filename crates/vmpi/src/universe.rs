@@ -39,7 +39,11 @@ where
                         let comm = Comm::world(ep);
                         let result = f(&comm);
                         let stats = comm.stats();
-                        RankResult { rank, result, stats }
+                        RankResult {
+                            rank,
+                            result,
+                            stats,
+                        }
                     })
                     .expect("failed to spawn rank thread")
             })

@@ -16,7 +16,11 @@ fn all_gather_equal_blocks() {
         let results = run(p, |comm| comm.all_gather(&rank_block(comm.rank(), 3)));
         let expect: Vec<f64> = (0..p).flat_map(|r| rank_block(r, 3)).collect();
         for r in &results {
-            assert_eq!(r.result, expect, "all_gather wrong at p={p}, rank {}", r.rank);
+            assert_eq!(
+                r.result, expect,
+                "all_gather wrong at p={p}, rank {}",
+                r.rank
+            );
         }
     }
 }
@@ -31,7 +35,11 @@ fn all_gatherv_varied_blocks() {
         });
         let expect: Vec<f64> = (0..p).flat_map(|r| rank_block(r, counts[r])).collect();
         for r in &results {
-            assert_eq!(r.result, expect, "all_gatherv wrong at p={p}, rank {}", r.rank);
+            assert_eq!(
+                r.result, expect,
+                "all_gatherv wrong at p={p}, rank {}",
+                r.rank
+            );
         }
     }
 }
@@ -39,9 +47,12 @@ fn all_gatherv_varied_blocks() {
 fn reduce_scatter_reference(p: usize, n_per: usize) -> Vec<Vec<f64>> {
     // Every rank contributes vector v_r with v_r[i] = r + i; the sum over
     // ranks of element i is p*i + p(p-1)/2.
-    let total: Vec<f64> =
-        (0..p * n_per).map(|i| (p * i) as f64 + (p * (p - 1) / 2) as f64).collect();
-    (0..p).map(|r| total[r * n_per..(r + 1) * n_per].to_vec()).collect()
+    let total: Vec<f64> = (0..p * n_per)
+        .map(|i| (p * i) as f64 + (p * (p - 1) / 2) as f64)
+        .collect();
+    (0..p)
+        .map(|r| total[r * n_per..(r + 1) * n_per].to_vec())
+        .collect()
 }
 
 #[test]
@@ -55,7 +66,11 @@ fn reduce_scatter_equal_counts() {
         });
         let expect = reduce_scatter_reference(p, n_per);
         for r in &results {
-            assert_eq!(r.result, expect[r.rank], "reduce_scatter wrong at p={p}, rank {}", r.rank);
+            assert_eq!(
+                r.result, expect[r.rank],
+                "reduce_scatter wrong at p={p}, rank {}",
+                r.rank
+            );
         }
     }
 }
@@ -76,15 +91,22 @@ fn reduce_scatter_uneven_counts() {
             let p = comm.size();
             let counts: Vec<usize> = (0..p).map(|r| r % 4).collect();
             let n: usize = counts.iter().sum();
-            let data: Vec<f64> = (0..n).map(|i| ((comm.rank() + 1) * (i + 1)) as f64).collect();
+            let data: Vec<f64> = (0..n)
+                .map(|i| ((comm.rank() + 1) * (i + 1)) as f64)
+                .collect();
             comm.reduce_scatter(&data, &counts)
         });
         // Sum over ranks of (r+1)*(i+1) = (i+1) * p(p+1)/2.
         let s = (p * (p + 1) / 2) as f64;
         for r in &results {
-            let expect: Vec<f64> =
-                (0..counts[r.rank]).map(|j| (offsets[r.rank] + j + 1) as f64 * s).collect();
-            assert_eq!(r.result, expect, "uneven reduce_scatter wrong at p={p} rank {}", r.rank);
+            let expect: Vec<f64> = (0..counts[r.rank])
+                .map(|j| (offsets[r.rank] + j + 1) as f64 * s)
+                .collect();
+            assert_eq!(
+                r.result, expect,
+                "uneven reduce_scatter wrong at p={p} rank {}",
+                r.rank
+            );
         }
     }
 }
@@ -108,7 +130,11 @@ fn reduce_scatter_ring_matches_halving() {
             comm.reduce_scatter_ring(&data, &counts)
         });
         for (h, g) in halving.iter().zip(&ring) {
-            assert_eq!(h.result, g.result, "ring != halving at p={p} rank {}", h.rank);
+            assert_eq!(
+                h.result, g.result,
+                "ring != halving at p={p} rank {}",
+                h.rank
+            );
         }
         let _ = counts;
     }
@@ -122,10 +148,15 @@ fn all_reduce_sums() {
             let data: Vec<f64> = (0..n).map(|i| (comm.rank() * n + i) as f64).collect();
             comm.all_reduce(&data)
         });
-        let expect: Vec<f64> =
-            (0..n).map(|i| (0..p).map(|r| (r * n + i) as f64).sum()).collect();
+        let expect: Vec<f64> = (0..n)
+            .map(|i| (0..p).map(|r| (r * n + i) as f64).sum())
+            .collect();
         for r in &results {
-            assert_eq!(r.result, expect, "all_reduce wrong at p={p} rank {}", r.rank);
+            assert_eq!(
+                r.result, expect,
+                "all_reduce wrong at p={p} rank {}",
+                r.rank
+            );
         }
     }
 }
@@ -161,8 +192,11 @@ fn broadcast_from_every_root() {
     for p in [1, 2, 3, 5, 8] {
         for root in 0..p {
             let results = run(p, |comm| {
-                let data =
-                    if comm.rank() == root { vec![42.0, root as f64] } else { vec![] };
+                let data = if comm.rank() == root {
+                    vec![42.0, root as f64]
+                } else {
+                    vec![]
+                };
                 comm.broadcast(root, &data)
             });
             for r in &results {
@@ -198,7 +232,11 @@ fn barrier_orders_phases() {
         entered.fetch_add(1, Ordering::SeqCst);
         comm.barrier();
         // After the barrier every rank must observe all p entries.
-        assert_eq!(entered.load(Ordering::SeqCst), p, "barrier let a rank through early");
+        assert_eq!(
+            entered.load(Ordering::SeqCst),
+            p,
+            "barrier let a rank through early"
+        );
     });
 }
 
@@ -260,7 +298,10 @@ fn stats_are_shared_across_subcommunicators() {
         comm.stats().total_messages()
     });
     for r in &results {
-        assert!(r.result > 0, "sub-communicator traffic must appear in the rank's stats");
+        assert!(
+            r.result > 0,
+            "sub-communicator traffic must appear in the rank's stats"
+        );
         assert_eq!(r.stats.total_messages(), r.result);
     }
 }

@@ -51,7 +51,9 @@ fn main() {
         &input,
         p,
         Algo::Hpc2D,
-        &NmfConfig::new(COMMUNITIES).with_max_iters(40).with_tol(1e-7),
+        &NmfConfig::new(COMMUNITIES)
+            .with_max_iters(40)
+            .with_tol(1e-7),
     );
     println!(
         "factorized on {p} ranks ({} iterations, rel error {:.3})",
@@ -90,9 +92,13 @@ fn main() {
     println!("clustering accuracy: {:.1}% ({correct}/{m})", 100.0 * acc);
 
     // Pairwise diagnostic: how cleanly do the communities separate?
+    #[allow(clippy::needless_range_loop)] // c is both index and label
     for c in 0..COMMUNITIES {
         let size = assignment.iter().filter(|&&a| a == c).count();
-        println!("  component {c}: {size} nodes, majority community {}", component_to_community[c]);
+        println!(
+            "  component {c}: {size} nodes, majority community {}",
+            component_to_community[c]
+        );
     }
     assert!(acc > 0.8, "planted communities should be recoverable");
     println!("OK: communities recovered");

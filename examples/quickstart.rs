@@ -23,15 +23,28 @@ fn main() {
     // grid and the BPP solver (the paper's configuration).
     let p = 8;
     let grid = Algo::Hpc2D.grid(m, n, p);
-    println!("running HPC-NMF on p={p} ranks, grid {}x{}, solver BPP", grid.pr, grid.pc);
+    println!(
+        "running HPC-NMF on p={p} ranks, grid {}x{}, solver BPP",
+        grid.pr, grid.pc
+    );
 
     let config = NmfConfig::new(k).with_max_iters(30).with_tol(1e-9);
     let out = factorize(&a, p, Algo::Hpc2D, &config);
 
     println!("\nconverged after {} iterations", out.iterations);
     println!("relative error ‖A−WH‖/‖A‖ = {:.3e}", out.rel_error);
-    println!("W: {}x{} nonnegative: {}", out.w.nrows(), out.w.ncols(), out.w.all_nonnegative());
-    println!("H: {}x{} nonnegative: {}", out.h.nrows(), out.h.ncols(), out.h.all_nonnegative());
+    println!(
+        "W: {}x{} nonnegative: {}",
+        out.w.nrows(),
+        out.w.ncols(),
+        out.w.all_nonnegative()
+    );
+    println!(
+        "H: {}x{} nonnegative: {}",
+        out.h.nrows(),
+        out.h.ncols(),
+        out.h.all_nonnegative()
+    );
 
     println!("\nobjective history (first 10):");
     for (i, f) in out.history().iter().take(10).enumerate() {

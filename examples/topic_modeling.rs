@@ -27,8 +27,9 @@ fn generate(seed: u64) -> (Input, Vec<Vec<usize>>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     // Topic t's band of characteristic terms.
     let band = VOCAB / TOPICS;
-    let top_terms: Vec<Vec<usize>> =
-        (0..TOPICS).map(|t| (t * band..t * band + 20).collect()).collect();
+    let top_terms: Vec<Vec<usize>> = (0..TOPICS)
+        .map(|t| (t * band..t * band + 20).collect())
+        .collect();
 
     let mut coo = Coo::with_capacity(VOCAB, DOCS, DOCS * WORDS_PER_DOC);
     let mut doc_topic = Vec::with_capacity(DOCS);
@@ -37,7 +38,11 @@ fn generate(seed: u64) -> (Input, Vec<Vec<usize>>, Vec<usize>) {
         doc_topic.push(main_topic);
         let second = rng.gen_range(0..TOPICS);
         for _ in 0..WORDS_PER_DOC {
-            let topic = if rng.gen::<f64>() < 0.8 { main_topic } else { second };
+            let topic = if rng.gen::<f64>() < 0.8 {
+                main_topic
+            } else {
+                second
+            };
             // Zipf-ish within the topic band: prefer the head terms.
             let r: f64 = rng.gen::<f64>();
             let offset = ((band as f64) * r * r) as usize;
@@ -65,23 +70,29 @@ fn main() {
     );
 
     let p = 8;
-    let out =
-        factorize(&input, p, Algo::Hpc2D, &NmfConfig::new(TOPICS).with_max_iters(30));
-    println!("factorized with k={TOPICS} on {p} ranks: rel error {:.3}", out.rel_error);
+    let out = factorize(
+        &input,
+        p,
+        Algo::Hpc2D,
+        &NmfConfig::new(TOPICS).with_max_iters(30),
+    );
+    println!(
+        "factorized with k={TOPICS} on {p} ranks: rel error {:.3}",
+        out.rel_error
+    );
 
     // Match each planted topic to the recovered W column with highest
     // cosine similarity over the vocabulary.
-    let mut used = vec![false; TOPICS];
+    let mut used = [false; TOPICS];
     let mut total_sim = 0.0;
     let mut doc_correct = 0usize;
-    let mut topic_of_component = vec![0usize; TOPICS];
+    let mut topic_of_component = [0usize; TOPICS];
+    #[allow(clippy::needless_range_loop)] // t is both index and topic id
     for t in 0..TOPICS {
         // Indicator vector of the planted topic's band.
         let mut indicator = vec![0.0; m];
         let band = VOCAB / TOPICS;
-        for term in t * band..(t + 1) * band {
-            indicator[term] = 1.0;
-        }
+        indicator[t * band..(t + 1) * band].fill(1.0);
         let (best_c, best_sim) = (0..TOPICS)
             .filter(|&c| !used[c])
             .map(|c| (c, cosine(&out.w.col(c), &indicator)))
@@ -102,9 +113,13 @@ fn main() {
             &top_terms[t][..3]
         );
     }
-    println!("mean topic cosine similarity: {:.3}", total_sim / TOPICS as f64);
+    println!(
+        "mean topic cosine similarity: {:.3}",
+        total_sim / TOPICS as f64
+    );
 
     // Document classification: argmax of H column vs planted main topic.
+    #[allow(clippy::needless_range_loop)] // d indexes both H and doc_topic
     for d in 0..n {
         let mut best = 0;
         for c in 1..TOPICS {
@@ -117,7 +132,10 @@ fn main() {
         }
     }
     let acc = doc_correct as f64 / n as f64;
-    println!("document topic accuracy: {:.1}% ({doc_correct}/{n})", 100.0 * acc);
+    println!(
+        "document topic accuracy: {:.1}% ({doc_correct}/{n})",
+        100.0 * acc
+    );
     assert!(acc > 0.8, "planted topics should be recoverable");
     println!("OK: topics recovered");
 }

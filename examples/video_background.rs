@@ -27,17 +27,28 @@ fn main() {
         "optimal grid for this aspect ratio: {}x{} ({})",
         grid.pr,
         grid.pc,
-        if grid.pc == 1 { "1D, as the paper prescribes for tall-skinny" } else { "2D" }
+        if grid.pc == 1 {
+            "1D, as the paper prescribes for tall-skinny"
+        } else {
+            "2D"
+        }
     );
 
     // Background model of rank 3 (the planted background rank).
-    let out = factorize(&data.input, p, Algo::Hpc2D, &NmfConfig::new(3).with_max_iters(25));
+    let out = factorize(
+        &data.input,
+        p,
+        Algo::Hpc2D,
+        &NmfConfig::new(3).with_max_iters(25),
+    );
     println!("background model fit: relative error {:.3}", out.rel_error);
 
     // Foreground = residual. The moving object is the brightest residual
     // run in each frame; check that its detected position sweeps
     // monotonically like the planted object does.
-    let Input::Dense(a) = &data.input else { unreachable!("video is dense") };
+    let Input::Dense(a) = &data.input else {
+        unreachable!("video is dense")
+    };
     let background = matmul(&out.w, &out.h);
     let mut positions = Vec::with_capacity(n);
     for t in 0..n {
@@ -53,8 +64,10 @@ fn main() {
         positions.push(best_pixel);
     }
 
-    let monotone_steps =
-        positions.windows(2).filter(|w| w[1] >= w[0].saturating_sub(m / 50)).count();
+    let monotone_steps = positions
+        .windows(2)
+        .filter(|w| w[1] >= w[0].saturating_sub(m / 50))
+        .count();
     println!(
         "detected object position sweeps forward in {}/{} frame transitions",
         monotone_steps,

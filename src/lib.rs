@@ -1,0 +1,14 @@
+//! Workspace facade: re-exports the crates of the HPC-NMF reproduction so
+//! the repo-level tests and examples have a single dependency root.
+//!
+//! Library users should depend on the individual crates directly
+//! ([`hpc_nmf`] being the main entry point); this package exists to host
+//! the cross-crate integration tests under `tests/` and the runnable
+//! examples under `examples/`.
+
+pub use hpc_nmf;
+pub use nmf_data;
+pub use nmf_matrix;
+pub use nmf_nls;
+pub use nmf_sparse;
+pub use nmf_vmpi;

@@ -89,7 +89,11 @@ fn naive_all_gather_words_match_formula() {
     let per_iter = ag_words(p, n * k) + ag_words(p, m * k);
     for s in &out.rank_comm {
         assert_eq!(s.op(Op::AllGather).words, per_iter * iters as u64);
-        assert_eq!(s.op(Op::ReduceScatter).words, 0, "Naive performs no reduce-scatter");
+        assert_eq!(
+            s.op(Op::ReduceScatter).words,
+            0,
+            "Naive performs no reduce-scatter"
+        );
     }
 }
 
@@ -104,7 +108,10 @@ fn messages_are_logarithmic_in_p() {
             // small constant: bound messages by 40·log2(p)+40 per iter.
             let lg = (p as f64).log2().ceil() as u64;
             let bound = (40 * lg + 40) * 2;
-            assert!(msgs <= bound, "p={p}: {msgs} messages exceeds O(log p) bound {bound}");
+            assert!(
+                msgs <= bound,
+                "p={p}: {msgs} messages exceeds O(log p) bound {bound}"
+            );
         }
     }
 }
@@ -135,7 +142,10 @@ fn hpc_1d_beats_2d_on_tall_skinny_bandwidth() {
     let square = run(m, n, k, p, Algo::HpcGrid(Grid::new(4, 2)), 2);
     let w1 = total_comm(&oned).total_words();
     let w2 = total_comm(&square).total_words();
-    assert!(w1 < w2, "1D grid ({w1} words) should beat 2D ({w2}) on tall-skinny input");
+    assert!(
+        w1 < w2,
+        "1D grid ({w1} words) should beat 2D ({w2}) on tall-skinny input"
+    );
 }
 
 #[test]

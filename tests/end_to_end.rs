@@ -78,7 +78,12 @@ fn video_grid_selection_is_1d() {
 fn per_iteration_records_are_complete() {
     let data = DatasetKind::Ssyn.build(1500, 6);
     let iters = 4;
-    let out = factorize(&data.input, 6, Algo::Hpc2D, &NmfConfig::new(4).with_max_iters(iters));
+    let out = factorize(
+        &data.input,
+        6,
+        Algo::Hpc2D,
+        &NmfConfig::new(4).with_max_iters(iters),
+    );
     assert_eq!(out.iters.len(), iters);
     for rec in &out.iters {
         assert!(rec.objective.is_finite());
@@ -103,7 +108,11 @@ fn solver_menu_works_on_sparse_dataset() {
     }
     // BPP (exact per-iteration solves) should be at least as good as MU
     // after equal iterations.
-    let bpp = finals.iter().find(|(s, _)| *s == SolverKind::Bpp).unwrap().1;
+    let bpp = finals
+        .iter()
+        .find(|(s, _)| *s == SolverKind::Bpp)
+        .unwrap()
+        .1;
     let mu = finals.iter().find(|(s, _)| *s == SolverKind::Mu).unwrap().1;
     assert!(
         bpp <= mu * (1.0 + 1e-6) + 1e-9,

@@ -35,7 +35,13 @@ fn assert_matches_sequential(input: &Input, p: usize, algo: Algo, config: &NmfCo
         algo.name()
     );
     let rel = (par.objective - seq.objective).abs() / seq.objective.abs().max(1.0);
-    assert!(rel < 1e-9, "{} p={p}: objective {} vs {}", algo.name(), par.objective, seq.objective);
+    assert!(
+        rel < 1e-9,
+        "{} p={p}: objective {} vs {}",
+        algo.name(),
+        par.objective,
+        seq.objective
+    );
 }
 
 #[test]
@@ -155,5 +161,8 @@ fn tolerance_early_exit_is_consistent_across_ranks() {
     let config = NmfConfig::new(3).with_max_iters(100).with_tol(1e-7);
     let seq = nmf_seq(&input, &config);
     let par = factorize(&input, 4, Algo::Hpc2D, &config);
-    assert_eq!(seq.iterations, par.iterations, "early exit must happen at the same iteration");
+    assert_eq!(
+        seq.iterations, par.iterations,
+        "early exit must happen at the same iteration"
+    );
 }

@@ -49,7 +49,14 @@ fn warm_start_is_consistent_across_drivers() {
     let w0 = Mat::uniform(m, k, 21);
     let ht0 = init_ht(n, k, 22);
     let config = NmfConfig::new(k).with_max_iters(4);
-    let seq = factorize_from(&input, 1, Algo::Sequential, &config, w0.clone(), ht0.clone());
+    let seq = factorize_from(
+        &input,
+        1,
+        Algo::Sequential,
+        &config,
+        w0.clone(),
+        ht0.clone(),
+    );
     for (p, algo) in [(4usize, Algo::Hpc2D), (3, Algo::Naive), (2, Algo::Hpc1D)] {
         let par = factorize_from(&input, p, algo, &config, w0.clone(), ht0.clone());
         assert!(
