@@ -2,10 +2,16 @@
 //! generated dataset with any algorithm/solver/grid combination.
 //!
 //! ```sh
-//! cargo run --release -p nmf-bench --bin nmf_cli -- --dataset ssyn --scale 200 \
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset ssyn --scale 200 \
 //!     --algo hpc2d --ranks 8 --k 10 --iters 20
-//! cargo run --release -p nmf-bench --bin nmf_cli -- --input graph.mtx --k 8
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --input graph.mtx --k 8
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --json
 //! ```
+//!
+//! `--json` replaces the human-readable report with one JSON object on
+//! stdout (objective, iterations, stop reason, per-task compute times,
+//! per-collective communication words/messages) for scripted
+//! benchmarking.
 
 use hpc_nmf::prelude::*;
 use hpc_nmf::total_comm;
@@ -24,6 +30,7 @@ struct Args {
     tol: Option<f64>,
     solver: String,
     seed: u64,
+    json: bool,
 }
 
 impl Args {
@@ -39,6 +46,7 @@ impl Args {
             tol: None,
             solver: "bpp".into(),
             seed: 42,
+            json: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -59,6 +67,7 @@ impl Args {
                 "--tol" => args.tol = Some(parse_float(&val("--tol"))),
                 "--solver" => args.solver = val("--solver"),
                 "--seed" => args.seed = parse_num(&val("--seed")) as u64,
+                "--json" => args.json = true,
                 "--help" | "-h" => {
                     print_help();
                     exit(0);
@@ -104,7 +113,8 @@ fn print_help() {
          \x20 --iters N               max iterations (default 20)\n\
          \x20 --tol T                 early-stop tolerance\n\
          \x20 --solver S              bpp | mu | hals | activeset (default bpp)\n\
-         \x20 --seed N                RNG seed (default 42)"
+         \x20 --seed N                RNG seed (default 42)\n\
+         \x20 --json                  machine-readable run summary on stdout"
     );
 }
 
@@ -184,28 +194,36 @@ fn main() {
     }
 
     let grid = algo.grid(m, n, args.ranks);
-    println!(
-        "{}x{} ({} nnz), {} on {} ranks (grid {}x{}), k={}, solver {:?}",
-        m,
-        n,
-        input.nnz(),
-        algo.name(),
-        args.ranks,
-        grid.pr,
-        grid.pc,
-        args.k,
-        solver
-    );
+    if !args.json {
+        println!(
+            "{}x{} ({} nnz), {} on {} ranks (grid {}x{}), k={}, solver {:?}",
+            m,
+            n,
+            input.nnz(),
+            algo.name(),
+            args.ranks,
+            grid.pr,
+            grid.pc,
+            args.k,
+            solver
+        );
+    }
 
     let t0 = std::time::Instant::now();
     let out = factorize(&input, args.ranks, algo, &config);
     let wall = t0.elapsed();
 
+    if args.json {
+        print_json(&args, &input, algo, grid, solver, &out, wall);
+        return;
+    }
+
     println!(
-        "\n{} iterations in {:.2?} ({:.4} s/iter)",
+        "\n{} iterations in {:.2?} ({:.4} s/iter), stopped: {}",
         out.iterations,
         wall,
-        wall.as_secs_f64() / out.iterations.max(1) as f64
+        wall.as_secs_f64() / out.iterations.max(1) as f64,
+        out.stop.as_str()
     );
     println!("relative error: {:.6}", out.rel_error);
     println!("objective:      {:.6e}", out.objective);
@@ -222,4 +240,84 @@ fn main() {
             );
         }
     }
+}
+
+/// A float as a JSON token: full-precision scientific for finite values,
+/// `null` for NaN/inf (which are not valid JSON and would break every
+/// consumer — a diverging run can legitimately produce them).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.17e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One JSON object on stdout: everything a benchmark script wants,
+/// hand-rolled (the container pulls no serde).
+fn print_json(
+    args: &Args,
+    input: &Input,
+    algo: Algo,
+    grid: hpc_nmf::Grid,
+    solver: SolverKind,
+    out: &NmfOutput,
+    wall: std::time::Duration,
+) {
+    let (m, n) = input.shape();
+    let compute = out.compute_total();
+    let comm = total_comm(out);
+    let mut s = String::with_capacity(1024);
+    s.push('{');
+    s.push_str(&format!(
+        "\"algo\":\"{}\",\"m\":{m},\"n\":{n},\"nnz\":{},\"ranks\":{},\"grid\":[{},{}],\"k\":{},\"solver\":\"{:?}\",\"seed\":{},",
+        algo.name(),
+        input.nnz(),
+        args.ranks,
+        grid.pr,
+        grid.pc,
+        args.k,
+        solver,
+        args.seed
+    ));
+    s.push_str(&format!(
+        "\"iterations\":{},\"stop\":\"{}\",\"wall_seconds\":{:.6},\"objective\":{},\"rel_error\":{},",
+        out.iterations,
+        out.stop.as_str(),
+        wall.as_secs_f64(),
+        jnum(out.objective),
+        jnum(out.rel_error)
+    ));
+    s.push_str(&format!(
+        "\"compute_seconds\":{{\"mm\":{:.6},\"nls\":{:.6},\"gram\":{:.6}}},",
+        compute.mm.as_secs_f64(),
+        compute.nls.as_secs_f64(),
+        compute.gram.as_secs_f64()
+    ));
+    s.push_str("\"objective_history\":[");
+    for (i, rec) in out.iters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&jnum(rec.objective));
+    }
+    s.push_str("],\"comm\":{");
+    for (i, op) in [Op::AllGather, Op::ReduceScatter, Op::AllReduce, Op::P2p]
+        .into_iter()
+        .enumerate()
+    {
+        if i > 0 {
+            s.push(',');
+        }
+        let st = comm.op(op);
+        s.push_str(&format!(
+            "\"{}\":{{\"words\":{},\"messages\":{},\"seconds\":{:.6}}}",
+            op.name(),
+            st.words,
+            st.messages,
+            st.time.as_secs_f64()
+        ));
+    }
+    s.push_str("}}");
+    println!("{s}");
 }

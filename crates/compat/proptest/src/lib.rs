@@ -110,7 +110,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    /// Acceptable size arguments for [`fn@vec`]: a fixed length or a range.
     pub trait SizeRange {
         fn sample_len(&self, rng: &mut StdRng) -> usize;
     }

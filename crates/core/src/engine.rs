@@ -1,0 +1,1012 @@
+//! The step-wise ANLS engine: one iteration loop behind all three drivers.
+//!
+//! The paper's central observation is that Sequential (Algorithm 1),
+//! Naive-Parallel (Algorithm 2), and HPC-NMF (Algorithm 3) perform *the
+//! same alternating-NLS computation* and differ only in how the Gram
+//! matrices, assembled factor blocks, and normal-equation right-hand
+//! sides move between processors. [`AnlsEngine`] encodes that directly:
+//! the loop body — Gram → ridge → NLS solve, twice, then the
+//! Gram-identity objective — exists exactly once ([`AnlsEngine::step`]),
+//! and the three algorithms are three implementations of [`CommScheme`]:
+//!
+//! | Scheme | Paper | Communication |
+//! |---|---|---|
+//! | [`LocalScheme`] | Algorithm 1 | none |
+//! | [`Replicated1D`] | Algorithm 2 | all-gather whole factors, redundant Grams |
+//! | [`Grid2D`] | Algorithm 3 | Gram all-reduce + grid-dimension all-gather + reduce-scatter |
+//!
+//! Because the arithmetic is shared, the engine preserves the two
+//! hard-won properties of the drivers it replaced: **bit-identical
+//! iterate trajectories** across schemes and processor counts (the same
+//! kernels run in the same order on the same operands), and the
+//! **zero-allocation steady state** (every per-iteration matrix lives in
+//! the [`IterWorkspace`], the collectives are the `_into` variants, and
+//! the NLS solvers reuse their own scratch).
+//!
+//! ## Step-wise execution
+//!
+//! Unlike the seed's run-to-completion drivers, the engine is a
+//! resumable iterator: [`step`](AnlsEngine::step) executes exactly one
+//! outer iteration and returns its [`IterRecord`];
+//! [`factors`](AnlsEngine::factors) exposes the current iterates
+//! mid-run (for checkpointing, streaming consumers, or serving partially
+//! converged factors); a fresh engine started from exported factors
+//! continues the *bit-identical* trajectory (see
+//! `tests/checkpoint_resume.rs`). [`run`](AnlsEngine::run) drives
+//! `step` under the configured [`ConvergencePolicy`] and
+//! [`run_observed`](AnlsEngine::run_observed) additionally invokes a
+//! per-iteration observer — the hook for progress reporting, live
+//! objective dashboards, or external early-stop controllers.
+//!
+//! ## Distributed stopping discipline
+//!
+//! Every stopping decision must be *collective*: if one rank leaves the
+//! loop while another enters a collective, the job deadlocks. The engine
+//! guarantees agreement by deciding only on collectively-known values:
+//! the objective is all-reduced (every rank sees the same float), and
+//! the wall-clock budget of [`ConvergencePolicy::WindowedBudget`] is
+//! folded into the objective all-reduce as a flag summed across ranks,
+//! so one slow rank stops everyone.
+
+use crate::config::{
+    apply_ridge, ConvergencePolicy, IterRecord, NmfConfig, NmfOutput, StopReason, TaskTimes,
+};
+use crate::dist::{Dist1D, Part};
+use crate::grid::Grid;
+use crate::input::{Input, LocalMat};
+use crate::naive::RankNmfOutput;
+use crate::workspace::IterWorkspace;
+use nmf_matrix::gram::gram_into;
+use nmf_matrix::Mat;
+use nmf_nls::NlsSolver;
+use nmf_vmpi::{Comm, CommStats};
+use std::time::{Duration, Instant};
+
+/// The data-matrix kernels an ANLS iteration needs. The data matrix
+/// enters the algorithm only through these two products (plus its norm),
+/// exactly as in the paper ("the data matrix itself is never
+/// communicated"); implementations exist for the global [`Input`]
+/// (sequential), a single distributed block [`LocalMat`] (HPC-NMF), and
+/// the doubly-stored [`SplitBlocks`] of the naive algorithm.
+pub trait AnlsData {
+    /// Local `A·Hᵀ` with `Hᵀ` supplied row-major (`·×k`), into `out`.
+    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat);
+    /// Local `Aᵀ·W`, into `out` (stored transposed, `·×k`).
+    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat);
+    /// This rank's contribution to `‖A‖²_F`, each entry counted exactly
+    /// once across all ranks.
+    fn norm_sq_contrib(&self) -> f64;
+}
+
+impl AnlsData for &Input {
+    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
+        Input::mm_a_ht_into(self, ht, out);
+    }
+
+    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
+        Input::mm_at_w_into(self, w, out);
+    }
+
+    fn norm_sq_contrib(&self) -> f64 {
+        self.fro_norm_sq()
+    }
+}
+
+impl AnlsData for &LocalMat {
+    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
+        LocalMat::mm_a_ht_into(self, ht, out);
+    }
+
+    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
+        LocalMat::mm_at_w_into(self, w, out);
+    }
+
+    fn norm_sq_contrib(&self) -> f64 {
+        self.fro_norm_sq()
+    }
+}
+
+/// Algorithm 2's doubled storage: the row block `Aᵢ` feeds `A·Hᵀ`, the
+/// column block `Aʲ` feeds `Aᵀ·W`. The norm contribution comes from the
+/// column blocks alone so each entry is counted once.
+pub struct SplitBlocks<'a> {
+    pub row_block: &'a LocalMat,
+    pub col_block: &'a LocalMat,
+}
+
+impl AnlsData for SplitBlocks<'_> {
+    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
+        self.row_block.mm_a_ht_into(ht, out);
+    }
+
+    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
+        self.col_block.mm_at_w_into(w, out);
+    }
+
+    fn norm_sq_contrib(&self) -> f64 {
+        self.col_block.fro_norm_sq()
+    }
+}
+
+/// Which buffer holds the factor block a matrix-multiply should read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorSource {
+    /// The engine's own local factor slice (nothing was gathered).
+    Local,
+    /// The workspace gather buffer (`ht_gather` / `w_gather`).
+    Gathered,
+}
+
+/// Which buffer holds the normal-equation right-hand side after the
+/// post-MM reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RhsSource {
+    /// The MM output itself (`mm_w` / `mm_h`); no reduction happened.
+    Mm,
+    /// The reduce-scatter output (`aht` / `wta`).
+    Scattered,
+}
+
+/// A communication layout for the ANLS iteration: everything that
+/// distinguishes Algorithms 1–3 from each other. Methods are invoked by
+/// [`AnlsEngine::step`] in a fixed order — W-side Gram, W-side gather,
+/// (engine MM), W-side scatter, (engine solve), then the H-side mirror,
+/// then the objective reduction — and each implementation performs its
+/// collectives inside the matching hook so the on-wire schedule is
+/// exactly the paper's algorithm.
+///
+/// Compute performed inside a hook (the Gram products) is timed into the
+/// caller's [`TaskTimes`]; communication is accounted separately by the
+/// virtual MPI and surfaced through [`CommScheme::comm_stats`].
+pub trait CommScheme {
+    /// Sizes (or re-sizes) the workspace buffers this scheme touches; a
+    /// no-op when already sized.
+    fn size_workspace(&self, ws: &mut IterWorkspace, k: usize);
+
+    /// One-time preparation before the first iteration (e.g. HPC-NMF
+    /// primes the local `H` Gram that iteration 1's all-reduce consumes).
+    fn prime(&self, ws: &mut IterWorkspace, ht_local: &Mat) {
+        let _ = (ws, ht_local);
+    }
+
+    /// Sums a scalar across ranks (the `‖A‖²` setup reduction).
+    fn reduce_scalar(&self, x: f64) -> f64;
+
+    /// Leaves the *global* Gram `HHᵀ` in `ws.gram_solve`, un-ridged.
+    fn reduce_gram_h(&self, ws: &mut IterWorkspace, ht_local: &Mat, tt: &mut TaskTimes);
+
+    /// Assembles the `Hᵀ` block the local `A·Hᵀ` needs (into
+    /// `ws.ht_gather`) and says where to read it.
+    fn gather_h(&self, ws: &mut IterWorkspace, ht_local: &Mat) -> FactorSource;
+
+    /// Reduces `ws.mm_w` to this rank's right-hand side for the `W`
+    /// solve and says where it landed.
+    fn reduce_scatter_w(&self, ws: &mut IterWorkspace) -> RhsSource;
+
+    /// Leaves the *global* Gram `WᵀW` in `ws.gram_w`, un-ridged (it is
+    /// also read by the objective).
+    fn reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes);
+
+    /// Assembles the `W` block the local `Aᵀ·W` needs (into
+    /// `ws.w_gather`) and says where to read it.
+    fn gather_w(&self, ws: &mut IterWorkspace, w_local: &Mat) -> FactorSource;
+
+    /// Reduces `ws.mm_h` to this rank's right-hand side for the `H`
+    /// solve and says where it landed.
+    fn reduce_scatter_h(&self, ws: &mut IterWorkspace) -> RhsSource;
+
+    /// Sums the objective terms (and, when present, the wall-clock
+    /// budget flag) across ranks, in place.
+    fn reduce_objective_terms(&self, terms: &mut [f64]);
+
+    /// Snapshot of this rank's cumulative communication counters.
+    fn comm_stats(&self) -> CommStats;
+}
+
+/// Algorithm 1: single process, no communication. Every hook is the
+/// identity or a plain local Gram.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalScheme {
+    m: usize,
+    n: usize,
+}
+
+impl LocalScheme {
+    /// Scheme for an `m×n` input on one process.
+    pub fn new(m: usize, n: usize) -> Self {
+        LocalScheme { m, n }
+    }
+}
+
+impl CommScheme for LocalScheme {
+    fn size_workspace(&self, ws: &mut IterWorkspace, k: usize) {
+        ws.size_for_seq(self.m, self.n, k);
+    }
+
+    fn reduce_scalar(&self, x: f64) -> f64 {
+        x
+    }
+
+    fn reduce_gram_h(&self, ws: &mut IterWorkspace, ht_local: &Mat, tt: &mut TaskTimes) {
+        // HHᵀ goes straight into the solve buffer; nothing reads the
+        // un-ridged Gram later.
+        let t0 = Instant::now();
+        gram_into(ht_local, &mut ws.gram_solve);
+        tt.gram += t0.elapsed();
+    }
+
+    fn gather_h(&self, _ws: &mut IterWorkspace, _ht_local: &Mat) -> FactorSource {
+        FactorSource::Local
+    }
+
+    fn reduce_scatter_w(&self, _ws: &mut IterWorkspace) -> RhsSource {
+        RhsSource::Mm
+    }
+
+    fn reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes) {
+        let t0 = Instant::now();
+        gram_into(w_local, &mut ws.gram_w);
+        tt.gram += t0.elapsed();
+    }
+
+    fn gather_w(&self, _ws: &mut IterWorkspace, _w_local: &Mat) -> FactorSource {
+        FactorSource::Local
+    }
+
+    fn reduce_scatter_h(&self, _ws: &mut IterWorkspace) -> RhsSource {
+        RhsSource::Mm
+    }
+
+    fn reduce_objective_terms(&self, _terms: &mut [f64]) {}
+
+    fn comm_stats(&self) -> CommStats {
+        CommStats::new()
+    }
+}
+
+/// Algorithm 2 (Naive-Parallel): 1D distributions of both factors, an
+/// all-gather of the *entire* other factor before each solve, and a
+/// redundant Gram on every rank — the `O((m+n)k)`-word baseline the
+/// paper improves on.
+pub struct Replicated1D<'c> {
+    comm: &'c Comm,
+    /// Global factor-row distributions (`W` rows / `H` columns).
+    dist_m: Dist1D,
+    dist_n: Dist1D,
+    /// All-gather counts (words) for the two factors.
+    w_counts: Vec<usize>,
+    h_counts: Vec<usize>,
+    k: usize,
+}
+
+impl<'c> Replicated1D<'c> {
+    /// Scheme for one rank of Algorithm 2 on an `m×n` input at rank `k`.
+    pub fn new(comm: &'c Comm, dims: (usize, usize), k: usize) -> Self {
+        let (m, n) = dims;
+        let p = comm.size();
+        let dist_m = Dist1D::new(m, p);
+        let dist_n = Dist1D::new(n, p);
+        let w_counts = dist_m.lens_scaled(k);
+        let h_counts = dist_n.lens_scaled(k);
+        Replicated1D {
+            comm,
+            dist_m,
+            dist_n,
+            w_counts,
+            h_counts,
+            k,
+        }
+    }
+
+    /// This rank's slice of the global `W` rows.
+    pub fn w_part(&self) -> Part {
+        self.dist_m.part(self.comm.rank())
+    }
+
+    /// This rank's slice of the global `H` columns.
+    pub fn ht_part(&self) -> Part {
+        self.dist_n.part(self.comm.rank())
+    }
+}
+
+impl CommScheme for Replicated1D<'_> {
+    fn size_workspace(&self, ws: &mut IterWorkspace, k: usize) {
+        debug_assert_eq!(k, self.k);
+        ws.size_for_naive(
+            self.dist_m.total(),
+            self.dist_n.total(),
+            self.w_part().len,
+            self.ht_part().len,
+            k,
+        );
+    }
+
+    fn reduce_scalar(&self, x: f64) -> f64 {
+        self.comm.all_reduce_scalar(x)
+    }
+
+    fn reduce_gram_h(&self, ws: &mut IterWorkspace, ht_local: &Mat, tt: &mut TaskTimes) {
+        // Line 3: collect the whole of H on each processor, then the
+        // redundant Gram — every rank computes HHᵀ itself, straight into
+        // the solve buffer.
+        self.comm.all_gatherv_into(
+            ht_local.as_slice(),
+            &self.h_counts,
+            ws.ht_gather.as_mut_slice(),
+        );
+        let t0 = Instant::now();
+        gram_into(&ws.ht_gather, &mut ws.gram_solve);
+        tt.gram += t0.elapsed();
+    }
+
+    fn gather_h(&self, _ws: &mut IterWorkspace, _ht_local: &Mat) -> FactorSource {
+        // Already assembled by `reduce_gram_h` (the gather feeds both the
+        // Gram and the MM in Algorithm 2).
+        FactorSource::Gathered
+    }
+
+    fn reduce_scatter_w(&self, _ws: &mut IterWorkspace) -> RhsSource {
+        // Aᵢ is a full row block, so AᵢHᵀ already is this rank's
+        // right-hand side.
+        RhsSource::Mm
+    }
+
+    fn reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes) {
+        // Line 5: collect the whole of W, then the redundant Gram.
+        self.comm.all_gatherv_into(
+            w_local.as_slice(),
+            &self.w_counts,
+            ws.w_gather.as_mut_slice(),
+        );
+        let t0 = Instant::now();
+        gram_into(&ws.w_gather, &mut ws.gram_w);
+        tt.gram += t0.elapsed();
+    }
+
+    fn gather_w(&self, _ws: &mut IterWorkspace, _w_local: &Mat) -> FactorSource {
+        FactorSource::Gathered
+    }
+
+    fn reduce_scatter_h(&self, _ws: &mut IterWorkspace) -> RhsSource {
+        RhsSource::Mm
+    }
+
+    fn reduce_objective_terms(&self, terms: &mut [f64]) {
+        self.comm.all_reduce_into(terms);
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.comm.stats()
+    }
+}
+
+/// Algorithm 3 (HPC-NMF): the data matrix lives once as `pr × pc`
+/// blocks; per factor and per iteration the scheme performs exactly one
+/// `k×k` Gram all-reduce, one all-gather along the grid dimension that
+/// shares the factor block, and one reduce-scatter back to the 1D factor
+/// distribution — the communication-optimal schedule of the paper's
+/// Table 2. A `pr×1` grid degenerates to the 1D variant prescribed for
+/// tall-and-skinny inputs.
+pub struct Grid2D<'c> {
+    world: &'c Comm,
+    /// Spans this grid row (`pc` ranks, ordered by column index).
+    row_comm: Comm,
+    /// Spans this grid column (`pr` ranks, ordered by row index).
+    col_comm: Comm,
+    /// This rank's `Aᵢⱼ` block extent.
+    rows: Part,
+    cols: Part,
+    /// This rank's 1D factor slices *within* its block.
+    w_sub: Part,
+    ht_sub: Part,
+    /// Reduce-scatter / all-gather counts along the grid row / column.
+    w_counts: Vec<usize>,
+    h_counts: Vec<usize>,
+    k: usize,
+}
+
+impl<'c> Grid2D<'c> {
+    /// Scheme for one rank of Algorithm 3 on a `grid.pr × grid.pc`
+    /// processor grid over an `m×n` input at rank `k`.
+    ///
+    /// Collective over `comm` (it splits the grid row and column
+    /// sub-communicators), so every rank must construct its scheme.
+    pub fn new(comm: &'c Comm, grid: Grid, dims: (usize, usize), k: usize) -> Self {
+        let (m, n) = dims;
+        assert_eq!(
+            comm.size(),
+            grid.size(),
+            "communicator size must match grid"
+        );
+        let (gi, gj) = grid.coords(comm.rank());
+
+        let row_comm = comm.split(gi, gj);
+        let col_comm = comm.split(grid.pr + gj, gi);
+        debug_assert_eq!(row_comm.size(), grid.pc);
+        debug_assert_eq!(col_comm.size(), grid.pr);
+
+        // Distributions: A's rows over grid rows, A's columns over grid
+        // columns; within a block, W's rows over the grid row's members
+        // and H's columns over the grid column's members.
+        let dist_m = Dist1D::new(m, grid.pr);
+        let dist_n = Dist1D::new(n, grid.pc);
+        let rows = dist_m.part(gi);
+        let cols = dist_n.part(gj);
+        let sub_rows = Dist1D::new(rows.len, grid.pc);
+        let sub_cols = Dist1D::new(cols.len, grid.pr);
+
+        Grid2D {
+            world: comm,
+            row_comm,
+            col_comm,
+            rows,
+            cols,
+            w_sub: sub_rows.part(gj),
+            ht_sub: sub_cols.part(gi),
+            w_counts: sub_rows.lens_scaled(k),
+            h_counts: sub_cols.lens_scaled(k),
+            k,
+        }
+    }
+
+    /// Expected shape of this rank's `Aᵢⱼ` block.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.rows.len, self.cols.len)
+    }
+
+    /// Expected shape of this rank's `(Wᵢ)ⱼ` slice.
+    pub fn w_shape(&self) -> (usize, usize) {
+        (self.w_sub.len, self.k)
+    }
+
+    /// Expected shape of this rank's `(Hⱼ)ᵢ` slice (stored transposed).
+    pub fn ht_shape(&self) -> (usize, usize) {
+        (self.ht_sub.len, self.k)
+    }
+}
+
+impl CommScheme for Grid2D<'_> {
+    fn size_workspace(&self, ws: &mut IterWorkspace, k: usize) {
+        debug_assert_eq!(k, self.k);
+        ws.size_for_hpc(
+            self.rows.len,
+            self.cols.len,
+            self.w_sub.len,
+            self.ht_sub.len,
+            k,
+        );
+    }
+
+    fn prime(&self, ws: &mut IterWorkspace, ht_local: &Mat) {
+        // Line 3 for the first iteration: Uᵢⱼ = (Hⱼ)ᵢ(Hⱼ)ᵢᵀ. Later
+        // iterations reuse the Gram computed for the objective.
+        gram_into(ht_local, &mut ws.gram_local);
+    }
+
+    fn reduce_scalar(&self, x: f64) -> f64 {
+        self.world.all_reduce_scalar(x)
+    }
+
+    fn reduce_gram_h(&self, ws: &mut IterWorkspace, _ht_local: &Mat, _tt: &mut TaskTimes) {
+        // Line 4: HHᵀ = Σᵢⱼ Uᵢⱼ, all-reduce across all ranks — straight
+        // into the solve buffer. The local Gram was computed by `prime`
+        // (first iteration) or by the previous objective evaluation.
+        ws.gram_solve.copy_from(&ws.gram_local);
+        self.world.all_reduce_into(ws.gram_solve.as_mut_slice());
+    }
+
+    fn gather_h(&self, ws: &mut IterWorkspace, ht_local: &Mat) -> FactorSource {
+        // Line 5: assemble Hⱼ (as Hⱼᵀ, n/pc × k) via all-gather across
+        // the processor column.
+        self.col_comm.all_gatherv_into(
+            ht_local.as_slice(),
+            &self.h_counts,
+            ws.ht_gather.as_mut_slice(),
+        );
+        FactorSource::Gathered
+    }
+
+    fn reduce_scatter_w(&self, ws: &mut IterWorkspace) -> RhsSource {
+        // Line 7: (AHᵀ)ᵢ via reduce-scatter across the processor row;
+        // this rank keeps ((AHᵀ)ᵢ)ⱼ (m/p × k).
+        self.row_comm.reduce_scatter_into(
+            ws.mm_w.as_slice(),
+            &self.w_counts,
+            ws.aht.as_mut_slice(),
+        );
+        RhsSource::Scattered
+    }
+
+    fn reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes) {
+        // Line 9: Xᵢⱼ = (Wᵢ)ⱼᵀ(Wᵢ)ⱼ; line 10: WᵀW all-reduce.
+        let t0 = Instant::now();
+        gram_into(w_local, &mut ws.gram_local);
+        tt.gram += t0.elapsed();
+        ws.gram_w.copy_from(&ws.gram_local);
+        self.world.all_reduce_into(ws.gram_w.as_mut_slice());
+    }
+
+    fn gather_w(&self, ws: &mut IterWorkspace, w_local: &Mat) -> FactorSource {
+        // Line 11: assemble Wᵢ (m/pr × k) via all-gather across the
+        // processor row.
+        self.row_comm.all_gatherv_into(
+            w_local.as_slice(),
+            &self.w_counts,
+            ws.w_gather.as_mut_slice(),
+        );
+        FactorSource::Gathered
+    }
+
+    fn reduce_scatter_h(&self, ws: &mut IterWorkspace) -> RhsSource {
+        // Line 13: (WᵀA)ⱼ via reduce-scatter across the processor
+        // column; this rank keeps ((WᵀA)ⱼ)ᵢ (n/p × k, transposed).
+        self.col_comm.reduce_scatter_into(
+            ws.mm_h.as_slice(),
+            &self.h_counts,
+            ws.wta.as_mut_slice(),
+        );
+        RhsSource::Scattered
+    }
+
+    fn reduce_objective_terms(&self, terms: &mut [f64]) {
+        self.world.all_reduce_into(terms);
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.world.stats()
+    }
+}
+
+/// Exportable convergence bookkeeping, for resuming a run in a fresh
+/// engine without perturbing the stopping decisions (the factor
+/// *trajectory* never depends on this state — only on the factors
+/// themselves — so resume is bit-deterministic even without it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvergenceState {
+    /// Objective after the most recent iteration (`+∞` before the first).
+    pub prev_objective: f64,
+    /// First iteration's objective (`f₀`, the normalizer of relative
+    /// improvements), if any iteration ran.
+    pub first_objective: Option<f64>,
+    /// Iterations executed so far (counted against `max_iters`).
+    pub iterations_done: usize,
+    /// Every objective so far, oldest first — what
+    /// [`ConvergencePolicy::WindowedBudget`]'s look-back window reads,
+    /// so a resumed run sees across the checkpoint boundary.
+    pub objective_history: Vec<f64>,
+    /// Wall-clock time consumed so far, accumulated across resumes
+    /// (counted against the policy's budget).
+    pub elapsed: Duration,
+}
+
+/// The step-wise ANLS iteration core shared by all three algorithms.
+///
+/// Owns the factor iterates, the [`IterWorkspace`], the NLS solver and
+/// its scratch, and the convergence bookkeeping; is generic over the
+/// communication layout ([`CommScheme`]) and the data kernels
+/// ([`AnlsData`]). See the [module docs](crate::engine) for the design
+/// and the step-wise API.
+pub struct AnlsEngine<S: CommScheme, D: AnlsData> {
+    scheme: S,
+    data: D,
+    config: NmfConfig,
+    policy: ConvergencePolicy,
+    solver: Box<dyn NlsSolver + Send>,
+    ws: IterWorkspace,
+    /// This rank's slice of `W` (all of `W` under [`LocalScheme`]).
+    w_local: Mat,
+    /// This rank's slice of `H`, stored transposed.
+    ht_local: Mat,
+    norm_a_sq: f64,
+    iters: Vec<IterRecord>,
+    /// Every objective this run has produced, including (after a
+    /// [`restore_convergence_state`](Self::restore_convergence_state))
+    /// those of the run being resumed — the windowed policy's look-back.
+    obj_history: Vec<f64>,
+    prev_obj: f64,
+    first_obj: Option<f64>,
+    iterations_done: usize,
+    comm_base: CommStats,
+    started: Instant,
+    /// Wall-clock consumed before this engine started (from a restored
+    /// checkpoint); added to `started.elapsed()` for budget decisions.
+    prior_elapsed: Duration,
+    stop: Option<StopReason>,
+}
+
+impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
+    /// Builds an engine from initial factors: `w0` is this rank's `W`
+    /// slice, `ht0` its (transposed) `H` slice. Collective over the
+    /// scheme's communicator (it all-reduces `‖A‖²`).
+    pub fn new(scheme: S, data: D, config: &NmfConfig, w0: Mat, ht0: Mat) -> Self {
+        Self::with_workspace(scheme, data, config, w0, ht0, IterWorkspace::default())
+    }
+
+    /// [`AnlsEngine::new`] with a caller-provided workspace (resized to
+    /// fit if its shapes differ) — the warm-restart path that skips even
+    /// the setup allocations. Reclaim it afterwards with
+    /// [`into_rank_output_and_workspace`](Self::into_rank_output_and_workspace).
+    pub fn with_workspace(
+        scheme: S,
+        data: D,
+        config: &NmfConfig,
+        w0: Mat,
+        ht0: Mat,
+        mut ws: IterWorkspace,
+    ) -> Self {
+        scheme.size_workspace(&mut ws, config.k);
+        let solver = config.solver.build();
+        let norm_a_sq = scheme.reduce_scalar(data.norm_sq_contrib());
+        scheme.prime(&mut ws, &ht0);
+        let comm_base = scheme.comm_stats();
+        AnlsEngine {
+            policy: config.policy(),
+            scheme,
+            data,
+            config: *config,
+            solver,
+            ws,
+            w_local: w0,
+            ht_local: ht0,
+            norm_a_sq,
+            iters: Vec::with_capacity(config.max_iters),
+            obj_history: Vec::with_capacity(config.max_iters),
+            prev_obj: f64::INFINITY,
+            first_obj: None,
+            iterations_done: 0,
+            comm_base,
+            started: Instant::now(),
+            prior_elapsed: Duration::ZERO,
+            stop: None,
+        }
+    }
+
+    /// Executes exactly one ANLS outer iteration — the single copy of
+    /// the loop body all three algorithms share — and returns its
+    /// record. Collective: every rank of the scheme's communicator must
+    /// call `step` the same number of times.
+    ///
+    /// `step` ignores `max_iters` and any previously reached stop
+    /// condition; that is [`run`](Self::run)'s job. Stepping past a stop
+    /// condition is legitimate (e.g. a serving loop that refines factors
+    /// whenever it has spare capacity).
+    pub fn step(&mut self) -> &IterRecord {
+        let mut tt = TaskTimes::default();
+        let ws = &mut self.ws;
+
+        /* ---- Compute W given H ---- */
+        self.scheme.reduce_gram_h(ws, &self.ht_local, &mut tt);
+        let h_src = self.scheme.gather_h(ws, &self.ht_local);
+        let t0 = Instant::now();
+        {
+            let hmat = match h_src {
+                FactorSource::Local => &self.ht_local,
+                FactorSource::Gathered => &ws.ht_gather,
+            };
+            self.data.mm_a_ht_into(hmat, &mut ws.mm_w);
+        }
+        tt.mm += t0.elapsed();
+        let w_rhs = self.scheme.reduce_scatter_w(ws);
+        let t0 = Instant::now();
+        apply_ridge(&mut ws.gram_solve, self.config.l2_w);
+        {
+            let rhs = match w_rhs {
+                RhsSource::Mm => &ws.mm_w,
+                RhsSource::Scattered => &ws.aht,
+            };
+            self.solver.update(&ws.gram_solve, rhs, &mut self.w_local);
+        }
+        tt.nls += t0.elapsed();
+
+        /* ---- Compute H given W ---- */
+        self.scheme.reduce_gram_w(ws, &self.w_local, &mut tt);
+        let w_src = self.scheme.gather_w(ws, &self.w_local);
+        let t0 = Instant::now();
+        {
+            let wmat = match w_src {
+                FactorSource::Local => &self.w_local,
+                FactorSource::Gathered => &ws.w_gather,
+            };
+            self.data.mm_at_w_into(wmat, &mut ws.mm_h);
+        }
+        tt.mm += t0.elapsed();
+        let h_rhs = self.scheme.reduce_scatter_h(ws);
+        let t0 = Instant::now();
+        ws.gram_solve.copy_from(&ws.gram_w);
+        apply_ridge(&mut ws.gram_solve, self.config.l2_h);
+        {
+            let rhs = match h_rhs {
+                RhsSource::Mm => &ws.mm_h,
+                RhsSource::Scattered => &ws.wta,
+            };
+            self.solver.update(&ws.gram_solve, rhs, &mut self.ht_local);
+        }
+        tt.nls += t0.elapsed();
+
+        /* ---- Objective via the Gram identity ----
+         * ‖A−WH‖² = ‖A‖² − 2·⟨WᵀA, H⟩ + ⟨WᵀW, HHᵀ⟩, with both inner
+         * products decomposing over the distribution of H. Under Grid2D
+         * the local H Gram doubles as next iteration's Uᵢⱼ, so Gram is
+         * still computed once per factor per iteration. */
+        let t0 = Instant::now();
+        gram_into(&self.ht_local, &mut ws.gram_local);
+        tt.gram += t0.elapsed();
+        let rhs_h = match h_rhs {
+            RhsSource::Mm => &ws.mm_h,
+            RhsSource::Scattered => &ws.wta,
+        };
+        let mut terms = [
+            rhs_h.fro_dot(&self.ht_local),
+            ws.gram_w.fro_dot(&ws.gram_local),
+            0.0,
+        ];
+        // The wall-clock budget flag rides the objective all-reduce (sum
+        // across ranks: any rank over budget stops everyone). Only
+        // appended when the policy has a budget, so budget-free runs keep
+        // the exact 2-word reduction the communication tests pin down.
+        let nterms = if self.policy.has_budget() {
+            let elapsed = self.prior_elapsed + self.started.elapsed();
+            terms[2] = f64::from(self.policy.budget_exceeded(elapsed));
+            3
+        } else {
+            2
+        };
+        self.scheme.reduce_objective_terms(&mut terms[..nterms]);
+        let objective = self.norm_a_sq - 2.0 * terms[0] + terms[1];
+
+        let now = self.scheme.comm_stats();
+        self.iters.push(IterRecord {
+            objective,
+            compute: tt,
+            comm: now.delta_since(&self.comm_base),
+        });
+        self.comm_base = now;
+        self.iterations_done += 1;
+        self.obj_history.push(objective);
+
+        let f0 = *self
+            .first_obj
+            .get_or_insert(objective.max(f64::MIN_POSITIVE));
+        self.stop = self.policy.decide(
+            self.prev_obj,
+            objective,
+            f0,
+            &self.obj_history,
+            nterms == 3 && terms[2] > 0.0,
+        );
+        self.prev_obj = objective;
+        self.iters.last().expect("step just pushed a record")
+    }
+
+    /// Drives [`step`](Self::step) until the convergence policy stops or
+    /// `max_iters` iterations have run, and reports why it stopped.
+    pub fn run(&mut self) -> StopReason {
+        self.run_observed(|_, _| {})
+    }
+
+    /// [`run`](Self::run), invoking `observer` with `(iteration_index,
+    /// record)` after every iteration — the hook for progress bars,
+    /// live dashboards, or checkpoint triggers.
+    pub fn run_observed(&mut self, mut observer: impl FnMut(usize, &IterRecord)) -> StopReason {
+        while self.iterations_done < self.config.max_iters {
+            self.step();
+            observer(
+                self.iterations_done - 1,
+                self.iters.last().expect("step pushed a record"),
+            );
+            if let Some(reason) = self.stop {
+                return reason;
+            }
+        }
+        self.stop = Some(StopReason::MaxIters);
+        StopReason::MaxIters
+    }
+
+    /// The current iterates: this rank's `W` slice and (transposed) `H`
+    /// slice. Valid mid-run — this is the checkpoint/streaming export.
+    pub fn factors(&self) -> (&Mat, &Mat) {
+        (&self.w_local, &self.ht_local)
+    }
+
+    /// Per-iteration records so far.
+    pub fn records(&self) -> &[IterRecord] {
+        &self.iters
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// Objective after the latest iteration (`‖A‖²` before the first —
+    /// the objective of the all-zero factorization).
+    pub fn objective(&self) -> f64 {
+        self.iters.last().map_or(self.norm_a_sq, |r| r.objective)
+    }
+
+    /// Why the engine last decided to stop, if it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// Exports the convergence bookkeeping for a later
+    /// [`restore_convergence_state`](Self::restore_convergence_state) in
+    /// a resumed engine.
+    pub fn convergence_state(&self) -> ConvergenceState {
+        ConvergenceState {
+            prev_objective: self.prev_obj,
+            first_objective: self.first_obj,
+            iterations_done: self.iterations_done,
+            objective_history: self.obj_history.clone(),
+            elapsed: self.prior_elapsed + self.started.elapsed(),
+        }
+    }
+
+    /// Restores exported convergence bookkeeping so a resumed run makes
+    /// the same stopping decisions as an uninterrupted one — including
+    /// the windowed policy's look-back across the checkpoint boundary
+    /// and the wall-clock budget already consumed.
+    pub fn restore_convergence_state(&mut self, state: ConvergenceState) {
+        self.prev_obj = state.prev_objective;
+        self.first_obj = state.first_objective;
+        self.iterations_done = state.iterations_done;
+        self.obj_history = state.objective_history;
+        self.prior_elapsed = state.elapsed;
+        self.started = Instant::now();
+    }
+
+    /// Finishes a per-rank run: the rank output plus the workspace, for
+    /// callers that reuse the workspace across factorizations.
+    pub fn into_rank_output_and_workspace(mut self) -> (RankNmfOutput, IterWorkspace) {
+        let objective = self.objective();
+        let out = RankNmfOutput {
+            w_local: self.w_local,
+            ht_local: self.ht_local,
+            objective,
+            stop: self.stop.unwrap_or(StopReason::MaxIters),
+            iters: self.iters,
+        };
+        (out, std::mem::take(&mut self.ws))
+    }
+
+    /// Finishes a per-rank run.
+    pub fn into_rank_output(self) -> RankNmfOutput {
+        self.into_rank_output_and_workspace().0
+    }
+
+    /// Finishes a run whose factors are global (i.e. [`LocalScheme`]):
+    /// assembles the full [`NmfOutput`].
+    pub fn into_output(self) -> NmfOutput {
+        let objective = self.objective();
+        let norm_a_sq = self.norm_a_sq;
+        NmfOutput {
+            w: self.w_local,
+            h: self.ht_local.transpose(),
+            objective,
+            rel_error: objective.max(0.0).sqrt() / norm_a_sq.sqrt().max(f64::MIN_POSITIVE),
+            iterations: self.iters.len(),
+            stop: self.stop.unwrap_or(StopReason::MaxIters),
+            iters: self.iters,
+            rank_comm: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::rng::Fill;
+
+    #[test]
+    fn local_scheme_runs_and_reports() {
+        let input = Input::Dense(Mat::uniform(20, 14, 5));
+        let config = NmfConfig::new(3).with_max_iters(4).with_seed(2);
+        let w0 = crate::config::init_w(20, 3, config.seed);
+        let ht0 = crate::config::init_ht(14, 3, config.seed);
+        let mut e = AnlsEngine::new(LocalScheme::new(20, 14), &input, &config, w0, ht0);
+        assert_eq!(e.iterations(), 0);
+        let first = e.step().objective;
+        assert_eq!(e.iterations(), 1);
+        assert!(first.is_finite());
+        let reason = e.run();
+        assert_eq!(reason, StopReason::MaxIters);
+        assert_eq!(e.iterations(), 4);
+        let (w, ht) = e.factors();
+        assert!(w.all_nonnegative() && ht.all_nonnegative());
+        let out = e.into_output();
+        assert_eq!(out.iterations, 4);
+        assert_eq!(out.stop, StopReason::MaxIters);
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let input = Input::Dense(Mat::uniform(16, 12, 9));
+        let config = NmfConfig::new(2).with_max_iters(5).with_seed(3);
+        let w0 = crate::config::init_w(16, 2, config.seed);
+        let ht0 = crate::config::init_ht(12, 2, config.seed);
+        let mut e = AnlsEngine::new(LocalScheme::new(16, 12), &input, &config, w0, ht0);
+        let mut seen = Vec::new();
+        e.run_observed(|it, rec| seen.push((it, rec.objective)));
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen.first().map(|s| s.0), Some(0));
+        assert_eq!(seen.last().map(|s| s.0), Some(4));
+        for w in seen.windows(2) {
+            assert!(w[1].1 <= w[0].1 * (1.0 + 1e-9) + 1e-9, "objective rose");
+        }
+    }
+
+    #[test]
+    fn budget_zero_stops_after_one_iteration() {
+        let input = Input::Dense(Mat::uniform(18, 12, 4));
+        let config = NmfConfig::new(2).with_max_iters(50).with_convergence(
+            ConvergencePolicy::WindowedBudget {
+                window: 5,
+                tol: 0.0,
+                budget: Some(std::time::Duration::ZERO),
+            },
+        );
+        let w0 = crate::config::init_w(18, 2, config.seed);
+        let ht0 = crate::config::init_ht(12, 2, config.seed);
+        let mut e = AnlsEngine::new(LocalScheme::new(18, 12), &input, &config, w0, ht0);
+        let reason = e.run();
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(
+            e.iterations(),
+            1,
+            "zero budget still completes the iteration in flight"
+        );
+    }
+
+    #[test]
+    fn infinite_window_tolerance_stops_at_window_plus_one() {
+        let input = Input::Dense(Mat::uniform(18, 12, 4));
+        let config = NmfConfig::new(2).with_max_iters(50).with_convergence(
+            ConvergencePolicy::WindowedBudget {
+                window: 3,
+                tol: f64::INFINITY,
+                budget: None,
+            },
+        );
+        let w0 = crate::config::init_w(18, 2, config.seed);
+        let ht0 = crate::config::init_ht(12, 2, config.seed);
+        let mut e = AnlsEngine::new(LocalScheme::new(18, 12), &input, &config, w0, ht0);
+        let reason = e.run();
+        assert_eq!(reason, StopReason::Converged);
+        assert_eq!(
+            e.iterations(),
+            4,
+            "windowed check needs window+1 objectives"
+        );
+    }
+
+    #[test]
+    fn convergence_state_round_trips() {
+        let input = Input::Dense(Mat::uniform(16, 10, 6));
+        let config = NmfConfig::new(2).with_max_iters(6).with_seed(4);
+        let w0 = crate::config::init_w(16, 2, config.seed);
+        let ht0 = crate::config::init_ht(10, 2, config.seed);
+        let mut e = AnlsEngine::new(LocalScheme::new(16, 10), &input, &config, w0, ht0);
+        e.step();
+        e.step();
+        let st = e.convergence_state();
+        assert_eq!(st.iterations_done, 2);
+        assert_eq!(st.objective_history.len(), 2);
+        assert!(st.first_objective.is_some());
+        let (w, ht) = e.factors();
+        let (w, ht) = (w.clone(), ht.clone());
+        let mut resumed = AnlsEngine::new(LocalScheme::new(16, 10), &input, &config, w, ht);
+        resumed.restore_convergence_state(st.clone());
+        let round_trip = resumed.convergence_state();
+        assert_eq!(round_trip.prev_objective, st.prev_objective);
+        assert_eq!(round_trip.first_objective, st.first_objective);
+        assert_eq!(round_trip.iterations_done, st.iterations_done);
+        assert_eq!(round_trip.objective_history, st.objective_history);
+        // The budget clock keeps accumulating from the restored value.
+        assert!(round_trip.elapsed >= st.elapsed);
+        let reason = resumed.run();
+        assert_eq!(reason, StopReason::MaxIters);
+        let done = resumed.convergence_state();
+        assert_eq!(done.iterations_done, 6);
+        assert_eq!(done.objective_history.len(), 6, "history spans the resume");
+    }
+}

@@ -8,7 +8,7 @@
 //! communication goes through the virtual MPI and is fully counted.
 
 use crate::config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput};
-use crate::dist::Dist1D;
+use crate::dist::{Dist1D, Part};
 use crate::grid::Grid;
 use crate::hpc::hpc_nmf_rank;
 use crate::input::Input;
@@ -121,6 +121,42 @@ fn factorize_naive(input: &Input, p: usize, config: &NmfConfig, w0: &Mat, ht0: &
     assemble(input, results, &w_offsets, &h_offsets, k)
 }
 
+/// Where one HPC-NMF rank's pieces live in the global matrices: its
+/// `Aᵢⱼ` block extent and its 1D factor slices in *global* coordinates.
+///
+/// One source of truth for the offset arithmetic shared by block
+/// extraction (before the run) and factor reassembly (after it).
+struct HpcRankLayout {
+    /// Global rows of this rank's `Aᵢⱼ` block.
+    rows: Part,
+    /// Global columns of this rank's `Aᵢⱼ` block.
+    cols: Part,
+    /// Global `W`-row slice `(Wᵢ)ⱼ`.
+    w: Part,
+    /// Global `H`-column slice `(Hⱼ)ᵢ`.
+    ht: Part,
+}
+
+fn hpc_rank_layout(grid: Grid, dist_m: &Dist1D, dist_n: &Dist1D, rank: usize) -> HpcRankLayout {
+    let (i, j) = grid.coords(rank);
+    let rows = dist_m.part(i);
+    let cols = dist_n.part(j);
+    let wpart = Dist1D::new(rows.len, grid.pc).part(j);
+    let hpart = Dist1D::new(cols.len, grid.pr).part(i);
+    HpcRankLayout {
+        rows,
+        cols,
+        w: Part {
+            offset: rows.offset + wpart.offset,
+            len: wpart.len,
+        },
+        ht: Part {
+            offset: cols.offset + hpart.offset,
+            len: hpart.len,
+        },
+    }
+}
+
 fn factorize_hpc(input: &Input, grid: Grid, config: &NmfConfig, w0: &Mat, ht0: &Mat) -> NmfOutput {
     let (m, n) = input.shape();
     let k = config.k;
@@ -129,28 +165,19 @@ fn factorize_hpc(input: &Input, grid: Grid, config: &NmfConfig, w0: &Mat, ht0: &
     let dist_n = Dist1D::new(n, grid.pc);
 
     let results = universe::run(p, |comm| {
-        let (i, j) = grid.coords(comm.rank());
-        let rows = dist_m.part(i);
-        let cols = dist_n.part(j);
-        let local = input.block(rows.offset, cols.offset, rows.len, cols.len);
-        let sub_rows = Dist1D::new(rows.len, grid.pc);
-        let sub_cols = Dist1D::new(cols.len, grid.pr);
-        let wpart = sub_rows.part(j);
-        let hpart = sub_cols.part(i);
-        let w0_local = w0.rows_block(rows.offset + wpart.offset, wpart.len);
-        let ht0_local = ht0.rows_block(cols.offset + hpart.offset, hpart.len);
+        let lay = hpc_rank_layout(grid, &dist_m, &dist_n, comm.rank());
+        let local = input.block(lay.rows.offset, lay.cols.offset, lay.rows.len, lay.cols.len);
+        let w0_local = w0.rows_block(lay.w.offset, lay.w.len);
+        let ht0_local = ht0.rows_block(lay.ht.offset, lay.ht.len);
         hpc_nmf_rank(comm, grid, (m, n), &local, w0_local, ht0_local, config)
     });
 
-    let mut w_offsets = Vec::with_capacity(p);
-    let mut h_offsets = Vec::with_capacity(p);
-    for r in 0..p {
-        let (i, j) = grid.coords(r);
-        let rows = dist_m.part(i);
-        let cols = dist_n.part(j);
-        w_offsets.push(rows.offset + Dist1D::new(rows.len, grid.pc).part(j).offset);
-        h_offsets.push(cols.offset + Dist1D::new(cols.len, grid.pr).part(i).offset);
-    }
+    let (w_offsets, h_offsets): (Vec<usize>, Vec<usize>) = (0..p)
+        .map(|r| {
+            let lay = hpc_rank_layout(grid, &dist_m, &dist_n, r);
+            (lay.w.offset, lay.ht.offset)
+        })
+        .unzip();
     assemble(input, results, &w_offsets, &h_offsets, k)
 }
 
@@ -173,13 +200,14 @@ fn assemble(
         .unwrap_or(0);
     let mut iters: Vec<IterRecord> = Vec::with_capacity(iterations);
     let mut rank_comm = Vec::with_capacity(results.len());
-    let objective = results[0].result.objective;
+    let stop = results[0].result.stop;
 
     for r in &results {
         let out = &r.result;
         w.set_block(w_offsets[r.rank], 0, &out.w_local);
         ht.set_block(h_offsets[r.rank], 0, &out.ht_local);
         rank_comm.push(r.stats.clone());
+        debug_assert_eq!(out.stop, stop, "stop reason must agree across ranks");
         for (idx, rec) in out.iters.iter().enumerate() {
             if idx == iters.len() {
                 iters.push(rec.clone());
@@ -196,6 +224,10 @@ fn assemble(
     }
 
     let norm_a_sq = input.fro_norm_sq();
+    // The final objective comes from the aggregated records — the value
+    // every rank agreed on via the objective all-reduce — not from a
+    // peek at rank 0's private field.
+    let objective = iters.last().map_or(norm_a_sq, |r| r.objective);
     NmfOutput {
         w,
         h: ht.transpose(),
@@ -203,6 +235,7 @@ fn assemble(
         rel_error: objective.max(0.0).sqrt() / norm_a_sq.sqrt().max(f64::MIN_POSITIVE),
         iters,
         iterations,
+        stop,
         rank_comm,
     }
 }

@@ -9,7 +9,9 @@
 //! products and slicing the result back to the 1D distribution) — giving
 //! the `O(√(mnk²/p))`-word, `O(log p)`-message costs of Table 2.
 //!
-//! Line numbers in comments refer to Algorithm 3 in the paper.
+//! The iteration loop itself lives in [`crate::engine`]: this module is
+//! a thin constructor that binds the engine to the [`Grid2D`] scheme
+//! (whose methods carry the paper's Algorithm 3 line-number comments).
 //!
 //! # Performance notes: the zero-allocation iteration loop
 //!
@@ -35,16 +37,14 @@
 //! would hand those to the NIC). The Criterion suite
 //! `benches/nmf_iteration.rs` tracks the resulting per-iteration times.
 
-use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
-use crate::dist::Dist1D;
+use crate::config::NmfConfig;
+use crate::engine::{AnlsEngine, Grid2D};
 use crate::grid::Grid;
 use crate::input::LocalMat;
 use crate::naive::RankNmfOutput;
 use crate::workspace::IterWorkspace;
-use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_vmpi::Comm;
-use std::time::Instant;
 
 /// Runs Algorithm 3 on one rank of a `grid.pr × grid.pc` processor grid.
 ///
@@ -79,6 +79,11 @@ pub fn hpc_nmf_rank(
 
 /// [`hpc_nmf_rank`] with a caller-owned workspace (resized to fit if the
 /// shapes differ from its previous use).
+///
+/// A thin constructor over [`AnlsEngine`] with the [`Grid2D`] scheme,
+/// which owns the grid-row/grid-column sub-communicators and performs
+/// Algorithm 3's collectives (lines 4–7 and 10–13) inside the engine's
+/// shared loop body.
 #[allow(clippy::too_many_arguments)]
 pub fn hpc_nmf_rank_with_workspace(
     comm: &Comm,
@@ -90,158 +95,18 @@ pub fn hpc_nmf_rank_with_workspace(
     config: &NmfConfig,
     ws: &mut IterWorkspace,
 ) -> RankNmfOutput {
-    let (m, n) = dims;
-    let k = config.k;
+    let scheme = Grid2D::new(comm, grid, dims, config.k);
     assert_eq!(
-        comm.size(),
-        grid.size(),
-        "communicator size must match grid"
+        (local.nrows(), local.ncols()),
+        scheme.block_shape(),
+        "local block shape mismatch"
     );
-    let (gi, gj) = grid.coords(comm.rank());
+    assert_eq!(w0.shape(), scheme.w_shape());
+    assert_eq!(ht0.shape(), scheme.ht_shape());
 
-    // Sub-communicators: `row_comm` spans this grid row (pc ranks,
-    // ordered by column index), `col_comm` this grid column (pr ranks,
-    // ordered by row index).
-    let row_comm = comm.split(gi, gj);
-    let col_comm = comm.split(grid.pr + gj, gi);
-    debug_assert_eq!(row_comm.size(), grid.pc);
-    debug_assert_eq!(col_comm.size(), grid.pr);
-
-    // Distributions: A's rows over grid rows, A's columns over grid
-    // columns; within a block, W's rows over the grid row's members and
-    // H's columns over the grid column's members.
-    let dist_m = Dist1D::new(m, grid.pr);
-    let dist_n = Dist1D::new(n, grid.pc);
-    let my_rows = dist_m.part(gi);
-    let my_cols = dist_n.part(gj);
-    assert_eq!(local.nrows(), my_rows.len, "local block height mismatch");
-    assert_eq!(local.ncols(), my_cols.len, "local block width mismatch");
-    let sub_rows = Dist1D::new(my_rows.len, grid.pc); // (Wᵢ)ⱼ heights
-    let sub_cols = Dist1D::new(my_cols.len, grid.pr); // (Hⱼ)ᵢ heights
-    assert_eq!(w0.shape(), (sub_rows.part(gj).len, k));
-    assert_eq!(ht0.shape(), (sub_cols.part(gi).len, k));
-
-    // Size (or re-size) the workspace; a no-op when already sized.
-    ws.gram_w.resize(k, k);
-    ws.gram_solve.resize(k, k);
-    ws.gram_local.resize(k, k);
-    ws.ht_gather.resize(my_cols.len, k);
-    ws.w_gather.resize(my_rows.len, k);
-    ws.mm_w.resize(my_rows.len, k);
-    ws.mm_h.resize(my_cols.len, k);
-    ws.aht.resize(sub_rows.part(gj).len, k);
-    ws.wta.resize(sub_cols.part(gi).len, k);
-
-    let mut solver = config.solver.build();
-    let mut w_local = w0; // (Wᵢ)ⱼ
-    let mut ht_local = ht0; // (Hⱼ)ᵢ, stored n/p × k
-
-    let w_counts = sub_rows.lens_scaled(k); // reduce-scatter counts, grid row
-    let h_counts = sub_cols.lens_scaled(k); // reduce-scatter counts, grid col
-
-    let norm_a_sq = comm.all_reduce_scalar(local.fro_norm_sq());
-
-    // Line 3 for the first iteration: Uᵢⱼ = (Hⱼ)ᵢ(Hⱼ)ᵢᵀ. Later
-    // iterations reuse the Gram computed for the objective.
-    gram_into(&ht_local, &mut ws.gram_local);
-
-    let mut iters = Vec::with_capacity(config.max_iters);
-    let mut prev_obj = f64::INFINITY;
-    let mut first_obj = None;
-    let mut objective = norm_a_sq;
-    let mut comm_base = comm.stats();
-
-    for _it in 0..config.max_iters {
-        let mut tt = TaskTimes::default();
-
-        /* ---- Compute W given H (lines 3–8) ---- */
-        // Line 4: HHᵀ = Σᵢⱼ Uᵢⱼ, all-reduce across all ranks — straight
-        // into the solve buffer; nothing reads the un-ridged HHᵀ later.
-        ws.gram_solve.copy_from(&ws.gram_local);
-        comm.all_reduce_into(ws.gram_solve.as_mut_slice());
-
-        // Line 5: assemble Hⱼ (as Hⱼᵀ, n/pc × k) via all-gather across
-        // the processor column.
-        col_comm.all_gatherv_into(ht_local.as_slice(), &h_counts, ws.ht_gather.as_mut_slice());
-
-        // Line 6: Vᵢⱼ = Aᵢⱼ·Hⱼᵀ (m/pr × k).
-        let t0 = Instant::now();
-        local.mm_a_ht_into(&ws.ht_gather, &mut ws.mm_w);
-        tt.mm += t0.elapsed();
-
-        // Line 7: (AHᵀ)ᵢ via reduce-scatter across the processor row;
-        // this rank keeps ((AHᵀ)ᵢ)ⱼ (m/p × k).
-        row_comm.reduce_scatter_into(ws.mm_w.as_slice(), &w_counts, ws.aht.as_mut_slice());
-
-        // Line 8: (Wᵢ)ⱼ ← argmin ‖W̃(HHᵀ) − ((AHᵀ)ᵢ)ⱼ‖, local NLS.
-        let t0 = Instant::now();
-        apply_ridge(&mut ws.gram_solve, config.l2_w);
-        solver.update(&ws.gram_solve, &ws.aht, &mut w_local);
-        tt.nls += t0.elapsed();
-
-        /* ---- Compute H given W (lines 9–14) ---- */
-        // Line 9: Xᵢⱼ = (Wᵢ)ⱼᵀ(Wᵢ)ⱼ.
-        let t0 = Instant::now();
-        gram_into(&w_local, &mut ws.gram_local);
-        tt.gram += t0.elapsed();
-
-        // Line 10: WᵀW all-reduce across all ranks.
-        ws.gram_w.copy_from(&ws.gram_local);
-        comm.all_reduce_into(ws.gram_w.as_mut_slice());
-
-        // Line 11: assemble Wᵢ (m/pr × k) via all-gather across the
-        // processor row.
-        row_comm.all_gatherv_into(w_local.as_slice(), &w_counts, ws.w_gather.as_mut_slice());
-
-        // Line 12: Yᵢⱼ = Wᵢᵀ·Aᵢⱼ, stored transposed (n/pc × k).
-        let t0 = Instant::now();
-        local.mm_at_w_into(&ws.w_gather, &mut ws.mm_h);
-        tt.mm += t0.elapsed();
-
-        // Line 13: (WᵀA)ⱼ via reduce-scatter across the processor
-        // column; this rank keeps ((WᵀA)ⱼ)ᵢ (n/p × k, transposed).
-        col_comm.reduce_scatter_into(ws.mm_h.as_slice(), &h_counts, ws.wta.as_mut_slice());
-
-        // Line 14: (Hⱼ)ᵢ ← argmin ‖(WᵀW)H̃ − ((WᵀA)ⱼ)ᵢ‖, local NLS.
-        let t0 = Instant::now();
-        ws.gram_solve.copy_from(&ws.gram_w);
-        apply_ridge(&mut ws.gram_solve, config.l2_h);
-        solver.update(&ws.gram_solve, &ws.wta, &mut ht_local);
-        tt.nls += t0.elapsed();
-
-        /* ---- Objective via the Gram identity ----
-         * ‖A−WH‖² = ‖A‖² − 2·⟨WᵀA, H⟩ + ⟨WᵀW, HHᵀ⟩, with both inner
-         * products decomposing over the 1D distribution of H. The local
-         * H Gram doubles as next iteration's Uᵢⱼ (line 3), so Gram is
-         * still computed once per factor per iteration. */
-        let t0 = Instant::now();
-        gram_into(&ht_local, &mut ws.gram_local);
-        tt.gram += t0.elapsed();
-        let mut s = [ws.wta.fro_dot(&ht_local), ws.gram_w.fro_dot(&ws.gram_local)];
-        comm.all_reduce_into(&mut s);
-        objective = norm_a_sq - 2.0 * s[0] + s[1];
-
-        let now = comm.stats();
-        iters.push(IterRecord {
-            objective,
-            compute: tt,
-            comm: now.delta_since(&comm_base),
-        });
-        comm_base = now;
-
-        let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
-        if let Some(tol) = config.tol {
-            if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
-                break;
-            }
-        }
-        prev_obj = objective;
-    }
-
-    RankNmfOutput {
-        w_local,
-        ht_local,
-        objective,
-        iters,
-    }
+    let mut engine = AnlsEngine::with_workspace(scheme, local, config, w0, ht0, std::mem::take(ws));
+    engine.run();
+    let (out, ws_back) = engine.into_rank_output_and_workspace();
+    *ws = ws_back;
+    out
 }

@@ -20,6 +20,14 @@
 //! start from the same seeded initialization so they perform the same
 //! computations, the paper's §6.1.3 protocol.
 //!
+//! The three drivers are thin constructors over one step-wise iteration
+//! core, [`engine::AnlsEngine`]: the ANLS loop body exists once, and the
+//! algorithms differ only in their [`engine::CommScheme`] implementation
+//! ([`engine::LocalScheme`] / [`engine::Replicated1D`] /
+//! [`engine::Grid2D`]). Drive the engine directly for step-at-a-time
+//! execution: checkpoint/resume, per-iteration observers, and serving
+//! partially converged factors.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -38,6 +46,7 @@
 
 pub mod config;
 pub mod dist;
+pub mod engine;
 pub mod grid;
 pub mod harness;
 pub mod hpc;
@@ -46,7 +55,10 @@ pub mod naive;
 pub mod seq;
 pub mod workspace;
 
-pub use config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput, TaskTimes};
+pub use config::{
+    init_ht, init_w, ConvergencePolicy, IterRecord, NmfConfig, NmfOutput, StopReason, TaskTimes,
+};
+pub use engine::{AnlsEngine, CommScheme, Grid2D, LocalScheme, Replicated1D};
 pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
@@ -54,7 +66,7 @@ pub use workspace::IterWorkspace;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::config::{NmfConfig, NmfOutput};
+    pub use crate::config::{ConvergencePolicy, NmfConfig, NmfOutput, StopReason};
     pub use crate::grid::Grid;
     pub use crate::harness::{factorize, Algo};
     pub use crate::input::Input;

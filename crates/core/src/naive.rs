@@ -8,14 +8,11 @@
 //! (versus HPC-NMF's `O(√(mnk²/p))`) and `(m+n)k²` redundant Gram flops —
 //! the three drawbacks the paper lists at the end of §4.3.
 
-use crate::config::{apply_ridge, IterRecord, NmfConfig, TaskTimes};
-use crate::dist::Dist1D;
+use crate::config::{IterRecord, NmfConfig, StopReason};
+use crate::engine::{AnlsEngine, Replicated1D, SplitBlocks};
 use crate::input::LocalMat;
-use crate::workspace::IterWorkspace;
-use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_vmpi::Comm;
-use std::time::Instant;
 
 /// Per-rank output of a parallel NMF driver.
 #[derive(Debug)]
@@ -26,6 +23,8 @@ pub struct RankNmfOutput {
     pub ht_local: Mat,
     /// Final objective `‖A − WH‖²_F` (identical on every rank).
     pub objective: f64,
+    /// Why the run stopped (identical on every rank).
+    pub stop: StopReason,
     /// Per-iteration records for this rank.
     pub iters: Vec<IterRecord>,
 }
@@ -36,6 +35,10 @@ pub struct RankNmfOutput {
 /// * `col_block` — this rank's `Aʲ` (`m × n/p`);
 /// * `w0 / ht0`  — this rank's slices of the deterministic global
 ///   initialization ([`crate::config::init_w`] / [`init_ht`]);
+///
+/// A thin constructor over [`AnlsEngine`] with the [`Replicated1D`]
+/// scheme, which performs the algorithm's whole-factor all-gathers and
+/// redundant Grams.
 ///
 /// [`init_ht`]: crate::config::init_ht
 pub fn naive_nmf_rank(
@@ -48,117 +51,21 @@ pub fn naive_nmf_rank(
     config: &NmfConfig,
 ) -> RankNmfOutput {
     let (m, n) = dims;
-    let p = comm.size();
     let k = config.k;
-    let dist_m = Dist1D::new(m, p);
-    let dist_n = Dist1D::new(n, p);
-    let me = comm.rank();
-    assert_eq!(
-        row_block.nrows(),
-        dist_m.part(me).len,
-        "row block height mismatch"
-    );
+    let scheme = Replicated1D::new(comm, dims, k);
+    let (rows, cols) = (scheme.w_part(), scheme.ht_part());
+    assert_eq!(row_block.nrows(), rows.len, "row block height mismatch");
     assert_eq!(row_block.ncols(), n);
     assert_eq!(col_block.nrows(), m);
-    assert_eq!(
-        col_block.ncols(),
-        dist_n.part(me).len,
-        "column block width mismatch"
-    );
-    assert_eq!(w0.shape(), (dist_m.part(me).len, k));
-    assert_eq!(ht0.shape(), (dist_n.part(me).len, k));
+    assert_eq!(col_block.ncols(), cols.len, "column block width mismatch");
+    assert_eq!(w0.shape(), (rows.len, k));
+    assert_eq!(ht0.shape(), (cols.len, k));
 
-    let mut solver = config.solver.build();
-    let mut w_local = w0;
-    let mut ht_local = ht0;
-    // ‖A‖² from the column blocks (each entry counted exactly once).
-    let norm_a_sq = comm.all_reduce_scalar(col_block.fro_norm_sq());
-
-    let w_counts = dist_m.lens_scaled(k);
-    let h_counts = dist_n.lens_scaled(k);
-
-    // All per-iteration matrices live here; the loop below performs no
-    // heap allocations in the compute path (see crate::workspace).
-    let mut ws = IterWorkspace::for_naive(m, n, dist_m.part(me).len, dist_n.part(me).len, k);
-
-    let mut iters = Vec::with_capacity(config.max_iters);
-    let mut prev_obj = f64::INFINITY;
-    let mut first_obj = None;
-    let mut objective = norm_a_sq;
-    let mut comm_base = comm.stats();
-
-    for _it in 0..config.max_iters {
-        let mut tt = TaskTimes::default();
-
-        /* --- Compute W given H (lines 3–4) --- */
-        // Line 3: collect the whole of H on each processor.
-        comm.all_gatherv_into(ht_local.as_slice(), &h_counts, ws.ht_gather.as_mut_slice());
-
-        // Redundant Gram: every rank computes HHᵀ itself — straight into
-        // the solve buffer; nothing reads the un-ridged Gram later.
-        let t0 = Instant::now();
-        gram_into(&ws.ht_gather, &mut ws.gram_solve);
-        tt.gram += t0.elapsed();
-
-        // Line 4: Wᵢ ← argmin ‖Aᵢ − W̃H‖ via the normal equations.
-        let t0 = Instant::now();
-        row_block.mm_a_ht_into(&ws.ht_gather, &mut ws.mm_w); // (m/p)×k
-        tt.mm += t0.elapsed();
-        let t0 = Instant::now();
-        apply_ridge(&mut ws.gram_solve, config.l2_w);
-        solver.update(&ws.gram_solve, &ws.mm_w, &mut w_local);
-        tt.nls += t0.elapsed();
-
-        /* --- Compute H given W (lines 5–6) --- */
-        // Line 5: collect the whole of W on each processor.
-        comm.all_gatherv_into(w_local.as_slice(), &w_counts, ws.w_gather.as_mut_slice());
-
-        let t0 = Instant::now();
-        gram_into(&ws.w_gather, &mut ws.gram_w);
-        tt.gram += t0.elapsed();
-
-        // Line 6: Hⁱ ← argmin ‖Aⁱ − WH̃‖.
-        let t0 = Instant::now();
-        col_block.mm_at_w_into(&ws.w_gather, &mut ws.mm_h); // (n/p)×k
-        tt.mm += t0.elapsed();
-        let t0 = Instant::now();
-        ws.gram_solve.copy_from(&ws.gram_w);
-        apply_ridge(&mut ws.gram_solve, config.l2_h);
-        solver.update(&ws.gram_solve, &ws.mm_h, &mut ht_local);
-        tt.nls += t0.elapsed();
-
-        /* --- Objective via the Gram identity --- */
-        let t0 = Instant::now();
-        gram_into(&ht_local, &mut ws.gram_local);
-        tt.gram += t0.elapsed();
-        let mut s = [
-            ws.mm_h.fro_dot(&ht_local),
-            ws.gram_w.fro_dot(&ws.gram_local),
-        ];
-        comm.all_reduce_into(&mut s);
-        objective = norm_a_sq - 2.0 * s[0] + s[1];
-
-        let now = comm.stats();
-        iters.push(IterRecord {
-            objective,
-            compute: tt,
-            comm: now.delta_since(&comm_base),
-        });
-        comm_base = now;
-
-        let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
-        if let Some(tol) = config.tol {
-            if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
-                break;
-            }
-        }
-        prev_obj = objective;
-    }
-
-    RankNmfOutput {
-        w_local,
-        ht_local,
-        objective,
-        iters,
-    }
+    let data = SplitBlocks {
+        row_block,
+        col_block,
+    };
+    let mut engine = AnlsEngine::new(scheme, data, config, w0, ht0);
+    engine.run();
+    engine.into_rank_output()
 }

@@ -5,13 +5,10 @@
 //! seed — that is the core correctness property of the reproduction,
 //! mirroring the paper's §6.1.3 protocol.
 
-use crate::config::{apply_ridge, init_ht, init_w, IterRecord, NmfConfig, NmfOutput, TaskTimes};
+use crate::config::{init_ht, init_w, NmfConfig, NmfOutput};
+use crate::engine::{AnlsEngine, LocalScheme};
 use crate::input::Input;
-use crate::workspace::IterWorkspace;
-use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
-use nmf_vmpi::CommStats;
-use std::time::Instant;
 
 /// Runs ANLS-NMF on a single process from the seeded initialization.
 pub fn nmf_seq(input: &Input, config: &NmfConfig) -> NmfOutput {
@@ -25,6 +22,11 @@ pub fn nmf_seq(input: &Input, config: &NmfConfig) -> NmfOutput {
 /// `m×k`, `ht` is `n×k` (`H` transposed). This is the entry point for
 /// incremental/streaming refactorization — e.g. re-fitting the video
 /// background model as new frames arrive (the paper's §6.1.1 scenario).
+///
+/// A thin constructor over [`AnlsEngine`] with the no-communication
+/// [`LocalScheme`]; callers that need mid-run access (checkpointing,
+/// per-iteration observers, serving partially converged factors) should
+/// build the engine themselves and drive [`AnlsEngine::step`].
 pub fn nmf_seq_from(input: &Input, config: &NmfConfig, w: Mat, ht: Mat) -> NmfOutput {
     let (m, n) = input.shape();
     let k = config.k;
@@ -38,85 +40,9 @@ pub fn nmf_seq_from(input: &Input, config: &NmfConfig, w: Mat, ht: Mat) -> NmfOu
         w.all_nonnegative() && ht.all_nonnegative(),
         "initial factors must be nonnegative"
     );
-    let mut solver = config.solver.build();
-
-    let mut ht = ht; // n×k (row j = column j of H)
-    let mut w = w; // m×k
-    let norm_a_sq = input.fro_norm_sq();
-
-    // All per-iteration matrices live here; the loop below performs no
-    // heap allocations after the first iteration (see crate::workspace).
-    let mut ws = IterWorkspace::for_seq(m, n, k);
-
-    let mut iters: Vec<IterRecord> = Vec::with_capacity(config.max_iters);
-    let mut prev_obj = f64::INFINITY;
-    let mut first_obj = None;
-
-    for _it in 0..config.max_iters {
-        let mut tt = TaskTimes::default();
-
-        // --- W update: W ← nls(HHᵀ, AHᵀ) ---
-        // HHᵀ goes straight into the solve buffer; nothing reads the
-        // un-ridged Gram later.
-        let t0 = Instant::now();
-        gram_into(&ht, &mut ws.gram_solve);
-        tt.gram += t0.elapsed();
-
-        let t0 = Instant::now();
-        input.mm_a_ht_into(&ht, &mut ws.mm_w); // m×k
-        tt.mm += t0.elapsed();
-
-        let t0 = Instant::now();
-        apply_ridge(&mut ws.gram_solve, config.l2_w);
-        solver.update(&ws.gram_solve, &ws.mm_w, &mut w);
-        tt.nls += t0.elapsed();
-
-        // --- H update: H ← nls(WᵀW, WᵀA) ---
-        let t0 = Instant::now();
-        gram_into(&w, &mut ws.gram_w);
-        tt.gram += t0.elapsed();
-
-        let t0 = Instant::now();
-        input.mm_at_w_into(&w, &mut ws.mm_h); // n×k
-        tt.mm += t0.elapsed();
-
-        let t0 = Instant::now();
-        ws.gram_solve.copy_from(&ws.gram_w);
-        apply_ridge(&mut ws.gram_solve, config.l2_h);
-        solver.update(&ws.gram_solve, &ws.mm_h, &mut ht);
-        tt.nls += t0.elapsed();
-
-        // --- objective via the Gram identity (never forms WH) ---
-        let t0 = Instant::now();
-        gram_into(&ht, &mut ws.gram_local);
-        tt.gram += t0.elapsed();
-        let objective = norm_a_sq - 2.0 * ws.mm_h.fro_dot(&ht) + ws.gram_w.fro_dot(&ws.gram_local);
-
-        iters.push(IterRecord {
-            objective,
-            compute: tt,
-            comm: CommStats::new(),
-        });
-        let f0 = *first_obj.get_or_insert(objective.max(f64::MIN_POSITIVE));
-        if let Some(tol) = config.tol {
-            if prev_obj.is_finite() && (prev_obj - objective) / f0 < tol {
-                break;
-            }
-        }
-        prev_obj = objective;
-    }
-
-    let objective = iters.last().map_or(norm_a_sq, |r| r.objective);
-    let iterations = iters.len();
-    NmfOutput {
-        w,
-        h: ht.transpose(),
-        objective,
-        rel_error: (objective.max(0.0)).sqrt() / norm_a_sq.sqrt().max(f64::MIN_POSITIVE),
-        iters,
-        iterations,
-        rank_comm: Vec::new(),
-    }
+    let mut engine = AnlsEngine::new(LocalScheme::new(m, n), input, config, w, ht);
+    engine.run();
+    engine.into_output()
 }
 
 #[cfg(test)]

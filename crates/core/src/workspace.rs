@@ -46,31 +46,70 @@ pub struct IterWorkspace {
 }
 
 impl IterWorkspace {
+    /// Sizes the three `k×k` Gram buffers every scheme uses.
+    fn size_grams(&mut self, k: usize) {
+        self.gram_w.resize(k, k);
+        self.gram_solve.resize(k, k);
+        self.gram_local.resize(k, k);
+    }
+
+    /// In-place (re)sizing for the sequential driver on an `m×n` input
+    /// at rank `k`; a no-op when already sized. The single source of
+    /// truth for which buffers Algorithm 1 touches — used by both
+    /// [`for_seq`](Self::for_seq) and the engine's `LocalScheme`.
+    pub fn size_for_seq(&mut self, m: usize, n: usize, k: usize) {
+        self.size_grams(k);
+        self.mm_w.resize(m, k);
+        self.mm_h.resize(n, k);
+    }
+
+    /// In-place (re)sizing for one rank of the naive driver: `m×n`
+    /// global dims, `rows`/`cols` this rank's row-block height and
+    /// column-block width. Used by both [`for_naive`](Self::for_naive)
+    /// and the engine's `Replicated1D`.
+    pub fn size_for_naive(&mut self, m: usize, n: usize, rows: usize, cols: usize, k: usize) {
+        self.size_grams(k);
+        self.ht_gather.resize(n, k);
+        self.w_gather.resize(m, k);
+        self.mm_w.resize(rows, k);
+        self.mm_h.resize(cols, k);
+    }
+
+    /// In-place (re)sizing for one rank of HPC-NMF:
+    /// `block_rows`/`block_cols` the local `Aᵢⱼ` dimensions,
+    /// `w_rows`/`ht_rows` the heights of this rank's 1D factor slices
+    /// (`(Wᵢ)ⱼ` and `(Hⱼ)ᵢ`). Used by both [`for_hpc`](Self::for_hpc)
+    /// and the engine's `Grid2D`.
+    pub fn size_for_hpc(
+        &mut self,
+        block_rows: usize,
+        block_cols: usize,
+        w_rows: usize,
+        ht_rows: usize,
+        k: usize,
+    ) {
+        self.size_grams(k);
+        self.ht_gather.resize(block_cols, k);
+        self.w_gather.resize(block_rows, k);
+        self.mm_w.resize(block_rows, k);
+        self.mm_h.resize(block_cols, k);
+        self.aht.resize(w_rows, k);
+        self.wta.resize(ht_rows, k);
+    }
+
     /// Workspace for the sequential driver on an `m×n` input at rank `k`.
     pub fn for_seq(m: usize, n: usize, k: usize) -> Self {
-        IterWorkspace {
-            gram_w: Mat::zeros(k, k),
-            gram_solve: Mat::zeros(k, k),
-            gram_local: Mat::zeros(k, k),
-            mm_w: Mat::zeros(m, k),
-            mm_h: Mat::zeros(n, k),
-            ..Default::default()
-        }
+        let mut ws = Self::default();
+        ws.size_for_seq(m, n, k);
+        ws
     }
 
     /// Workspace for one rank of the naive driver: `m×n` global dims,
     /// `rows`/`cols` this rank's row-block height and column-block width.
     pub fn for_naive(m: usize, n: usize, rows: usize, cols: usize, k: usize) -> Self {
-        IterWorkspace {
-            gram_w: Mat::zeros(k, k),
-            gram_solve: Mat::zeros(k, k),
-            gram_local: Mat::zeros(k, k),
-            ht_gather: Mat::zeros(n, k),
-            w_gather: Mat::zeros(m, k),
-            mm_w: Mat::zeros(rows, k),
-            mm_h: Mat::zeros(cols, k),
-            ..Default::default()
-        }
+        let mut ws = Self::default();
+        ws.size_for_naive(m, n, rows, cols, k);
+        ws
     }
 
     /// Workspace for one rank of HPC-NMF: `block_rows`/`block_cols` the
@@ -83,17 +122,9 @@ impl IterWorkspace {
         ht_rows: usize,
         k: usize,
     ) -> Self {
-        IterWorkspace {
-            gram_w: Mat::zeros(k, k),
-            gram_solve: Mat::zeros(k, k),
-            gram_local: Mat::zeros(k, k),
-            ht_gather: Mat::zeros(block_cols, k),
-            w_gather: Mat::zeros(block_rows, k),
-            mm_w: Mat::zeros(block_rows, k),
-            mm_h: Mat::zeros(block_cols, k),
-            aht: Mat::zeros(w_rows, k),
-            wta: Mat::zeros(ht_rows, k),
-        }
+        let mut ws = Self::default();
+        ws.size_for_hpc(block_rows, block_cols, w_rows, ht_rows, k);
+        ws
     }
 }
 

@@ -10,7 +10,7 @@
 //! * [`gemm`] — blocked matrix-multiply kernels in all transpose
 //!   combinations used by the algorithms (`A·B`, `Aᵀ·B`, `A·Bᵀ`), with
 //!   optional rayon parallelism for standalone (non-rank-parallel) use;
-//! * [`gram`] — symmetric rank-k products `XᵀX` and `XXᵀ` exploiting
+//! * [`mod@gram`] — symmetric rank-k products `XᵀX` and `XXᵀ` exploiting
 //!   symmetry;
 //! * [`chol`] — Cholesky factorization and multi-right-hand-side solves for
 //!   the `k×k` normal-equation systems;

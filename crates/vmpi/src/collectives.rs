@@ -39,7 +39,7 @@
 //!
 //! Equal-block collectives (`all_gather`, `all_gather_into`, and the
 //! segment layout inside `all_reduce` when `p | n`) use a constant-space
-//! [`Counts::Eq`] descriptor instead of materializing a `vec![len; p]`
+//! `Counts::Eq` descriptor instead of materializing a `vec![len; p]`
 //! per call.
 
 use crate::comm::{Comm, Kind};

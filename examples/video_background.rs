@@ -10,9 +10,11 @@
 //! cargo run --release --example video_background
 //! ```
 
+use hpc_nmf::engine::{AnlsEngine, LocalScheme};
 use hpc_nmf::prelude::*;
 use nmf_data::DatasetKind;
-use nmf_matrix::matmul;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::{matmul, Mat};
 
 fn main() {
     // ~10,134 pixels × 24 frames (paper dims divided by 100; still tall
@@ -97,4 +99,45 @@ fn main() {
         "moving object should be recovered by the residual"
     );
     println!("OK: background/foreground separation recovered the moving object");
+
+    // --- Streaming refit via the step-wise engine ---
+    // New frames arrive and the scene drifts slightly (lighting change);
+    // instead of re-solving from scratch, warm-start an AnlsEngine from
+    // the previous factors and step it under a windowed + wall-clock
+    // convergence policy, watching progress through the observer.
+    let mut drifted = a.clone();
+    let noise = Mat::uniform(m, n, 1234);
+    for (v, nz) in drifted.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+        *v += 0.01 * nz;
+    }
+    let window2 = Input::Dense(drifted);
+    let mut ht_prev = out.h.transpose();
+    ht_prev.project_nonnegative();
+    let config =
+        NmfConfig::new(3)
+            .with_max_iters(25)
+            .with_convergence(ConvergencePolicy::WindowedBudget {
+                window: 3,
+                tol: 1e-5,
+                budget: Some(std::time::Duration::from_secs(2)),
+            });
+    let mut engine = AnlsEngine::new(
+        LocalScheme::new(m, n),
+        &window2,
+        &config,
+        out.w.clone(),
+        ht_prev,
+    );
+    let reason = engine.run_observed(|it, rec| {
+        println!("  refit iteration {it}: objective {:.4e}", rec.objective);
+    });
+    println!(
+        "streaming refit stopped after {} iterations ({})",
+        engine.iterations(),
+        reason.as_str()
+    );
+    assert!(
+        engine.iterations() < 25,
+        "warm start should converge before the iteration cap"
+    );
 }

@@ -1,0 +1,347 @@
+//! Checkpoint/resume determinism for the step-wise engine: running `N`
+//! iterations, exporting the factors, and continuing in a *fresh* engine
+//! must reproduce the uninterrupted trajectory **bit-for-bit**, for all
+//! three communication schemes.
+//!
+//! This is the property that makes the engine a serving substrate:
+//! factors exported mid-run are complete checkpoints (no hidden solver
+//! or workspace state carries information between iterations), so a
+//! crashed or migrated worker resumes exactly where it left off.
+
+use hpc_nmf::dist::Dist1D;
+use hpc_nmf::engine::{AnlsEngine, Grid2D, LocalScheme, Replicated1D, SplitBlocks};
+use hpc_nmf::prelude::*;
+use hpc_nmf::seq::nmf_seq_from;
+use hpc_nmf::{init_ht, init_w};
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_vmpi::universe;
+
+const TOTAL: usize = 6;
+const BREAK_AT: usize = 3;
+
+fn test_input(m: usize, n: usize, seed: u64) -> Input {
+    Input::Dense(Mat::uniform(m, n, seed))
+}
+
+fn config() -> NmfConfig {
+    NmfConfig::new(4).with_max_iters(TOTAL).with_seed(11)
+}
+
+#[test]
+fn sequential_checkpoint_resume_is_bit_identical() {
+    let input = test_input(33, 26, 5);
+    let (m, n) = input.shape();
+    let cfg = config();
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+
+    // Uninterrupted run.
+    let mut full = AnlsEngine::new(
+        LocalScheme::new(m, n),
+        &input,
+        &cfg,
+        w0.clone(),
+        ht0.clone(),
+    );
+    for _ in 0..TOTAL {
+        full.step();
+    }
+
+    // Interrupted at BREAK_AT: export factors, resume in a fresh engine.
+    let mut first = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w0, ht0);
+    for _ in 0..BREAK_AT {
+        first.step();
+    }
+    let state = first.convergence_state();
+    let (w_ck, ht_ck) = first.factors();
+    let (w_ck, ht_ck) = (w_ck.clone(), ht_ck.clone());
+    drop(first);
+
+    let mut resumed = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w_ck, ht_ck);
+    resumed.restore_convergence_state(state);
+    for _ in 0..(TOTAL - BREAK_AT) {
+        resumed.step();
+    }
+
+    let (wf, htf) = full.factors();
+    let (wr, htr) = resumed.factors();
+    assert_eq!(wf, wr, "resumed W diverged from the uninterrupted run");
+    assert_eq!(htf, htr, "resumed H diverged from the uninterrupted run");
+    // Objective trajectories after the checkpoint agree bit-for-bit too.
+    let tail: Vec<f64> = full.records()[BREAK_AT..]
+        .iter()
+        .map(|r| r.objective)
+        .collect();
+    let resumed_hist: Vec<f64> = resumed.records().iter().map(|r| r.objective).collect();
+    assert_eq!(tail, resumed_hist, "objective trajectory diverged");
+}
+
+#[test]
+fn stepped_engine_matches_run_to_completion_driver() {
+    let input = test_input(28, 21, 9);
+    let (m, n) = input.shape();
+    let cfg = config();
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+
+    let driver = nmf_seq_from(&input, &cfg, w0.clone(), ht0.clone());
+    let mut engine = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w0, ht0);
+    for _ in 0..TOTAL {
+        engine.step();
+    }
+    let (w, ht) = engine.factors();
+    assert_eq!(&driver.w, w, "step-wise W differs from driver");
+    assert_eq!(driver.h, ht.transpose(), "step-wise H differs from driver");
+}
+
+/// Runs `p` ranks of the naive scheme; each rank steps `first` times,
+/// then (if `resume`) exports its factors and continues in a fresh
+/// engine for `second` steps. Returns each rank's final factors.
+fn naive_factors(
+    input: &Input,
+    p: usize,
+    cfg: &NmfConfig,
+    first: usize,
+    second: usize,
+    resume: bool,
+) -> Vec<(Mat, Mat)> {
+    let (m, n) = input.shape();
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+    let dist_m = Dist1D::new(m, p);
+    let dist_n = Dist1D::new(n, p);
+    universe::run(p, |comm| {
+        let r = comm.rank();
+        let rows = dist_m.part(r);
+        let cols = dist_n.part(r);
+        let row_block = input.block(rows.offset, 0, rows.len, n);
+        let col_block = input.block(0, cols.offset, m, cols.len);
+        let data = SplitBlocks {
+            row_block: &row_block,
+            col_block: &col_block,
+        };
+        let scheme = Replicated1D::new(comm, (m, n), cfg.k);
+        let mut engine = AnlsEngine::new(
+            scheme,
+            SplitBlocks {
+                row_block: &row_block,
+                col_block: &col_block,
+            },
+            cfg,
+            w0.rows_block(rows.offset, rows.len),
+            ht0.rows_block(cols.offset, cols.len),
+        );
+        for _ in 0..first {
+            engine.step();
+        }
+        if resume {
+            let (w_ck, ht_ck) = engine.factors();
+            let (w_ck, ht_ck) = (w_ck.clone(), ht_ck.clone());
+            drop(engine);
+            let scheme = Replicated1D::new(comm, (m, n), cfg.k);
+            engine = AnlsEngine::new(scheme, data, cfg, w_ck, ht_ck);
+        }
+        for _ in 0..second {
+            engine.step();
+        }
+        let (w, ht) = engine.factors();
+        (w.clone(), ht.clone())
+    })
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+#[test]
+fn naive_checkpoint_resume_is_bit_identical() {
+    let input = test_input(30, 24, 7);
+    let cfg = config();
+    for p in [2usize, 3] {
+        let full = naive_factors(&input, p, &cfg, TOTAL, 0, false);
+        let resumed = naive_factors(&input, p, &cfg, BREAK_AT, TOTAL - BREAK_AT, true);
+        for (rank, (f, r)) in full.iter().zip(&resumed).enumerate() {
+            assert_eq!(f.0, r.0, "naive p={p} rank {rank}: W diverged after resume");
+            assert_eq!(f.1, r.1, "naive p={p} rank {rank}: H diverged after resume");
+        }
+    }
+}
+
+/// The Grid2D analogue of [`naive_factors`].
+fn hpc_factors(
+    input: &Input,
+    grid: Grid,
+    cfg: &NmfConfig,
+    first: usize,
+    second: usize,
+    resume: bool,
+) -> Vec<(Mat, Mat)> {
+    let (m, n) = input.shape();
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+    let dist_m = Dist1D::new(m, grid.pr);
+    let dist_n = Dist1D::new(n, grid.pc);
+    universe::run(grid.size(), |comm| {
+        let (i, j) = grid.coords(comm.rank());
+        let rows = dist_m.part(i);
+        let cols = dist_n.part(j);
+        let local = input.block(rows.offset, cols.offset, rows.len, cols.len);
+        let wpart = Dist1D::new(rows.len, grid.pc).part(j);
+        let hpart = Dist1D::new(cols.len, grid.pr).part(i);
+        let w0_local = w0.rows_block(rows.offset + wpart.offset, wpart.len);
+        let ht0_local = ht0.rows_block(cols.offset + hpart.offset, hpart.len);
+        let scheme = Grid2D::new(comm, grid, (m, n), cfg.k);
+        let mut engine = AnlsEngine::new(scheme, &local, cfg, w0_local, ht0_local);
+        for _ in 0..first {
+            engine.step();
+        }
+        if resume {
+            let (w_ck, ht_ck) = engine.factors();
+            let (w_ck, ht_ck) = (w_ck.clone(), ht_ck.clone());
+            drop(engine);
+            // A fresh scheme re-splits the grid communicators, exactly
+            // as a restarted job would.
+            let scheme = Grid2D::new(comm, grid, (m, n), cfg.k);
+            engine = AnlsEngine::new(scheme, &local, cfg, w_ck, ht_ck);
+        }
+        for _ in 0..second {
+            engine.step();
+        }
+        let (w, ht) = engine.factors();
+        (w.clone(), ht.clone())
+    })
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+#[test]
+fn hpc_checkpoint_resume_is_bit_identical() {
+    let input = test_input(36, 28, 13);
+    let cfg = config();
+    for grid in [
+        Grid::new(2, 2),
+        Grid::new(4, 1),
+        Grid::new(1, 3),
+        Grid::new(3, 2),
+    ] {
+        let full = hpc_factors(&input, grid, &cfg, TOTAL, 0, false);
+        let resumed = hpc_factors(&input, grid, &cfg, BREAK_AT, TOTAL - BREAK_AT, true);
+        for (rank, (f, r)) in full.iter().zip(&resumed).enumerate() {
+            assert_eq!(
+                f.0, r.0,
+                "hpc {}x{} rank {rank}: W diverged after resume",
+                grid.pr, grid.pc
+            );
+            assert_eq!(
+                f.1, r.1,
+                "hpc {}x{} rank {rank}: H diverged after resume",
+                grid.pr, grid.pc
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_preserves_early_stop_decisions() {
+    // With the convergence state restored, a resumed RelTol run stops at
+    // the same global iteration as the uninterrupted one.
+    let input = test_input(30, 22, 17);
+    let (m, n) = input.shape();
+    let cfg = NmfConfig::new(3)
+        .with_max_iters(100)
+        .with_tol(1e-7)
+        .with_seed(5);
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+
+    let mut full = AnlsEngine::new(
+        LocalScheme::new(m, n),
+        &input,
+        &cfg,
+        w0.clone(),
+        ht0.clone(),
+    );
+    let reason_full = full.run();
+    let total = full.iterations();
+    assert!(total < 100, "tolerance should stop well before max_iters");
+    assert!(
+        matches!(
+            reason_full,
+            StopReason::Converged | StopReason::ObjectiveIncreased
+        ),
+        "unexpected stop reason {reason_full:?}"
+    );
+
+    let brk = total / 2;
+    let mut first = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w0, ht0);
+    for _ in 0..brk {
+        first.step();
+    }
+    let state = first.convergence_state();
+    let (w_ck, ht_ck) = first.factors();
+    let (w_ck, ht_ck) = (w_ck.clone(), ht_ck.clone());
+    let mut resumed = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w_ck, ht_ck);
+    resumed.restore_convergence_state(state);
+    let reason_resumed = resumed.run();
+    assert_eq!(reason_resumed, reason_full);
+    assert_eq!(
+        resumed.iterations(),
+        total,
+        "resumed run must stop at the same global iteration"
+    );
+}
+
+#[test]
+fn windowed_policy_resume_stops_at_same_iteration() {
+    // The windowed look-back and the budget clock live in
+    // ConvergenceState, so a resumed WindowedBudget run reproduces the
+    // uninterrupted run's stopping decision even when the window spans
+    // the checkpoint boundary.
+    let input = test_input(32, 24, 19);
+    let (m, n) = input.shape();
+    let cfg = NmfConfig::new(3)
+        .with_max_iters(80)
+        .with_seed(5)
+        .with_convergence(ConvergencePolicy::WindowedBudget {
+            window: 3,
+            tol: 1e-6,
+            budget: None,
+        });
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+
+    let mut full = AnlsEngine::new(
+        LocalScheme::new(m, n),
+        &input,
+        &cfg,
+        w0.clone(),
+        ht0.clone(),
+    );
+    let reason_full = full.run();
+    let total = full.iterations();
+    assert!(
+        total < 80,
+        "windowed tolerance should stop before max_iters"
+    );
+
+    // Break one iteration before the stop, so the window straddles the
+    // checkpoint.
+    let brk = total - 1;
+    let mut first = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w0, ht0);
+    for _ in 0..brk {
+        first.step();
+    }
+    let state = first.convergence_state();
+    let (w_ck, ht_ck) = first.factors();
+    let (w_ck, ht_ck) = (w_ck.clone(), ht_ck.clone());
+    let mut resumed = AnlsEngine::new(LocalScheme::new(m, n), &input, &cfg, w_ck, ht_ck);
+    resumed.restore_convergence_state(state);
+    let reason_resumed = resumed.run();
+    assert_eq!(reason_resumed, reason_full);
+    assert_eq!(
+        resumed.iterations(),
+        total,
+        "windowed stop must land on the same global iteration after resume"
+    );
+}
