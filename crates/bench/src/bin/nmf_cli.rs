@@ -6,95 +6,210 @@
 //!     --algo hpc2d --ranks 8 --k 10 --iters 20
 //! cargo run --release -p nmf_bench --bin nmf_cli -- --input graph.mtx --k 8
 //! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --json
+//!
+//! # rank sweep: one dataset + one universe, one JSON summary per k
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset ssyn --k 4,8,16 --json
+//!
+//! # long job with durable checkpoints, resumable after a crash
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --k 10 \
+//!     --checkpoint run.ckpt --checkpoint-every 5
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --resume run.ckpt
 //! ```
 //!
-//! `--json` replaces the human-readable report with one JSON object on
-//! stdout (objective, iterations, stop reason, per-task compute times,
-//! per-collective communication words/messages) for scripted
-//! benchmarking.
+//! `--json` replaces the human-readable report with one JSON object per
+//! fitted rank on stdout (objective, iterations, stop reason, per-task
+//! compute times, per-collective communication words/messages) for
+//! scripted benchmarking and model selection.
+//!
+//! Argument handling is `Result`-based: every problem found is
+//! accumulated and reported once (as [`NmfError::InvalidArgs`]) together
+//! with the usage text, instead of exiting at the first bad flag.
 
 use hpc_nmf::prelude::*;
-use hpc_nmf::total_comm;
+
 use nmf_data::DatasetKind;
 use nmf_vmpi::Op;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::time::{Duration, Instant};
 
+/// Parsed command line. Options the user set explicitly stay `Some`, so
+/// `--resume` can detect contradictory flags.
+#[derive(Debug, Default)]
 struct Args {
     input: Option<String>,
     dataset: Option<String>,
-    scale: usize,
-    algo: String,
-    ranks: usize,
-    k: usize,
-    iters: usize,
+    scale: Option<usize>,
+    algo: Option<Algo>,
+    ranks: Option<usize>,
+    ks: Option<Vec<usize>>,
+    iters: Option<usize>,
     tol: Option<f64>,
-    solver: String,
-    seed: u64,
+    solver: Option<SolverKind>,
+    seed: Option<u64>,
     json: bool,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: Option<PathBuf>,
 }
 
 impl Args {
-    fn parse() -> Args {
-        let mut args = Args {
-            input: None,
-            dataset: None,
-            scale: 200,
-            algo: "hpc2d".into(),
-            ranks: 4,
-            k: 10,
-            iters: 20,
-            tol: None,
-            solver: "bpp".into(),
-            seed: 42,
-            json: false,
-        };
-        let mut it = std::env::args().skip(1);
-        while let Some(flag) = it.next() {
-            let mut val = |name: &str| {
-                it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    exit(2);
-                })
-            };
-            match flag.as_str() {
-                "--input" => args.input = Some(val("--input")),
-                "--dataset" => args.dataset = Some(val("--dataset")),
-                "--scale" => args.scale = parse_num(&val("--scale")),
-                "--algo" => args.algo = val("--algo"),
-                "--ranks" | "-p" => args.ranks = parse_num(&val("--ranks")),
-                "--k" | "-k" => args.k = parse_num(&val("--k")),
-                "--iters" => args.iters = parse_num(&val("--iters")),
-                "--tol" => args.tol = Some(parse_float(&val("--tol"))),
-                "--solver" => args.solver = val("--solver"),
-                "--seed" => args.seed = parse_num(&val("--seed")) as u64,
-                "--json" => args.json = true,
-                "--help" | "-h" => {
-                    print_help();
-                    exit(0);
-                }
-                other => {
-                    eprintln!("unknown flag {other}");
-                    print_help();
-                    exit(2);
-                }
-            }
+    fn ks(&self) -> Vec<usize> {
+        self.ks.clone().unwrap_or_else(|| vec![10])
+    }
+
+    fn config(&self, k: usize) -> NmfConfig {
+        let mut c = NmfConfig::new(k)
+            .with_max_iters(self.iters.unwrap_or(20))
+            .with_solver(self.solver.unwrap_or(SolverKind::Bpp))
+            .with_seed(self.seed.unwrap_or(42));
+        if let Some(t) = self.tol {
+            c = c.with_tol(t);
         }
-        args
+        c
     }
 }
 
-fn parse_num(s: &str) -> usize {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("expected an integer, got '{s}'");
-        exit(2);
-    })
+/// Parses `argv` (without the program name), accumulating every error
+/// instead of stopping at the first.
+fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
+    let mut args = Args::default();
+    let mut errors = Vec::new();
+    let mut it = argv.iter().peekable();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str, errors: &mut Vec<String>| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("missing value for {name}"));
+                    None
+                }
+            }
+        };
+        match flag.as_str() {
+            "--input" => args.input = val("--input", &mut errors),
+            "--dataset" => args.dataset = val("--dataset", &mut errors),
+            "--scale" => {
+                args.scale = parse_num(val("--scale", &mut errors), "--scale", &mut errors)
+            }
+            "--algo" => {
+                if let Some(v) = val("--algo", &mut errors) {
+                    match v.as_str() {
+                        "seq" => args.algo = Some(Algo::Sequential),
+                        "naive" => args.algo = Some(Algo::Naive),
+                        "hpc1d" => args.algo = Some(Algo::Hpc1D),
+                        "hpc2d" => args.algo = Some(Algo::Hpc2D),
+                        other => errors.push(format!(
+                            "unknown algorithm '{other}' (expected seq | naive | hpc1d | hpc2d)"
+                        )),
+                    }
+                }
+            }
+            "--ranks" | "-p" => {
+                args.ranks = parse_num(val("--ranks", &mut errors), "--ranks", &mut errors)
+            }
+            "--k" | "-k" => {
+                if let Some(v) = val("--k", &mut errors) {
+                    let mut ks = Vec::new();
+                    for part in v.split(',') {
+                        match part.trim().parse::<usize>() {
+                            Ok(k) => ks.push(k),
+                            Err(_) => errors.push(format!(
+                                "--k expects an integer or comma list (e.g. 4,8,16), got '{part}'"
+                            )),
+                        }
+                    }
+                    if !ks.is_empty() {
+                        args.ks = Some(ks);
+                    }
+                }
+            }
+            "--iters" => {
+                args.iters = parse_num(val("--iters", &mut errors), "--iters", &mut errors)
+            }
+            "--tol" => {
+                if let Some(v) = val("--tol", &mut errors) {
+                    match v.parse::<f64>() {
+                        Ok(t) => args.tol = Some(t),
+                        Err(_) => errors.push(format!("--tol expects a number, got '{v}'")),
+                    }
+                }
+            }
+            "--solver" => {
+                if let Some(v) = val("--solver", &mut errors) {
+                    match v.as_str() {
+                        "bpp" => args.solver = Some(SolverKind::Bpp),
+                        "mu" => args.solver = Some(SolverKind::Mu),
+                        "hals" => args.solver = Some(SolverKind::Hals),
+                        "activeset" => args.solver = Some(SolverKind::ActiveSet),
+                        other => errors.push(format!(
+                            "unknown solver '{other}' (expected bpp | mu | hals | activeset)"
+                        )),
+                    }
+                }
+            }
+            "--seed" => {
+                args.seed =
+                    parse_num(val("--seed", &mut errors), "--seed", &mut errors).map(|s| s as u64)
+            }
+            "--json" => args.json = true,
+            "--checkpoint" => args.checkpoint = val("--checkpoint", &mut errors).map(PathBuf::from),
+            "--checkpoint-every" => {
+                args.checkpoint_every = parse_num(
+                    val("--checkpoint-every", &mut errors),
+                    "--checkpoint-every",
+                    &mut errors,
+                )
+            }
+            "--resume" => args.resume = val("--resume", &mut errors).map(PathBuf::from),
+            "--help" | "-h" => {
+                print_help();
+                exit(0);
+            }
+            other => errors.push(format!("unknown flag {other}")),
+        }
+    }
+
+    // Cross-flag constraints, still all reported at once.
+    if args.checkpoint_every.is_some() && args.checkpoint.is_none() && args.resume.is_none() {
+        errors.push("--checkpoint-every needs --checkpoint FILE (or --resume FILE)".into());
+    }
+    if args.checkpoint_every == Some(0) {
+        errors.push("--checkpoint-every must be >= 1".into());
+    }
+    if args.resume.is_some() && args.ks.as_ref().is_some_and(|ks| ks.len() > 1) {
+        errors.push("--resume continues one run; it cannot be combined with a --k sweep".into());
+    }
+    if args.ks.as_ref().is_some_and(|ks| ks.len() > 1) && args.checkpoint.is_some() {
+        errors.push(
+            "--checkpoint with a --k sweep would overwrite one file per k; run sweeps without it"
+                .into(),
+        );
+    }
+    if let Some(ds) = &args.dataset {
+        if !matches!(ds.as_str(), "dsyn" | "ssyn" | "video" | "webbase") {
+            errors.push(format!(
+                "unknown dataset '{ds}' (expected dsyn | ssyn | video | webbase)"
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(args)
+    } else {
+        Err(errors)
+    }
 }
 
-fn parse_float(s: &str) -> f64 {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("expected a number, got '{s}'");
-        exit(2);
-    })
+fn parse_num(v: Option<String>, name: &str, errors: &mut Vec<String>) -> Option<usize> {
+    let v = v?;
+    match v.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            errors.push(format!("{name} expects an integer, got '{v}'"));
+            None
+        }
+    }
 }
 
 fn print_help() {
@@ -109,43 +224,38 @@ fn print_help() {
          options:\n\
          \x20 --algo A                seq | naive | hpc1d | hpc2d (default hpc2d)\n\
          \x20 --ranks P               virtual ranks (default 4)\n\
-         \x20 --k K                   low rank (default 10)\n\
+         \x20 --k K[,K2,...]          low rank, or a comma list to sweep (default 10)\n\
          \x20 --iters N               max iterations (default 20)\n\
          \x20 --tol T                 early-stop tolerance\n\
          \x20 --solver S              bpp | mu | hals | activeset (default bpp)\n\
          \x20 --seed N                RNG seed (default 42)\n\
-         \x20 --json                  machine-readable run summary on stdout"
+         \x20 --json                  machine-readable summary per k on stdout\n\
+         \n\
+         durability:\n\
+         \x20 --checkpoint FILE       write a checkpoint when the run finishes\n\
+         \x20 --checkpoint-every N    also write FILE every N iterations\n\
+         \x20 --resume FILE           continue an interrupted run from FILE"
     );
 }
 
-fn load_input(args: &Args) -> Input {
+fn load_input(args: &Args) -> Result<Input, NmfError> {
     if let Some(path) = &args.input {
-        let file = std::fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("cannot open {path}: {e}");
-            exit(1);
-        });
+        let io = |source| NmfError::Io {
+            path: PathBuf::from(path),
+            source,
+        };
+        let file = std::fs::File::open(path).map_err(io)?;
+        let text = std::io::read_to_string(file).map_err(io)?;
         // Peek the banner to pick sparse vs dense.
-        let text = std::io::read_to_string(file).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(1);
-        });
-        if text.lines().next().is_some_and(|l| l.contains("array")) {
-            match nmf_sparse::io::read_matrix_market_dense(text.as_bytes()) {
-                Ok(m) => Input::Dense(m),
-                Err(e) => {
-                    eprintln!("parse error: {e}");
-                    exit(1);
-                }
-            }
+        let parsed = if text.lines().next().is_some_and(|l| l.contains("array")) {
+            nmf_sparse::io::read_matrix_market_dense(text.as_bytes()).map(Input::Dense)
         } else {
-            match nmf_sparse::io::read_matrix_market(text.as_bytes()) {
-                Ok(m) => Input::Sparse(m),
-                Err(e) => {
-                    eprintln!("parse error: {e}");
-                    exit(1);
-                }
-            }
-        }
+            nmf_sparse::io::read_matrix_market(text.as_bytes()).map(Input::Sparse)
+        };
+        parsed.map_err(|e| NmfError::Corrupt {
+            path: PathBuf::from(path),
+            reason: format!("Matrix Market parse error: {e}"),
+        })
     } else {
         let kind = match args.dataset.as_deref() {
             Some("dsyn") => DatasetKind::Dsyn,
@@ -153,82 +263,222 @@ fn load_input(args: &Args) -> Input {
             Some("video") => DatasetKind::Video,
             Some("webbase") => DatasetKind::Webbase,
             Some(other) => {
-                eprintln!("unknown dataset '{other}'");
-                exit(2);
+                // parse_args validated this; defensive fallback.
+                return Err(NmfError::InvalidArgs {
+                    errors: vec![format!("unknown dataset '{other}'")],
+                });
             }
         };
-        kind.build(args.scale, args.seed).input
+        Ok(kind
+            .build(args.scale.unwrap_or(200), args.seed.unwrap_or(42))
+            .input)
     }
 }
 
 fn main() {
-    let args = Args::parse();
-    let input = load_input(&args);
-    let (m, n) = input.shape();
-    let algo = match args.algo.as_str() {
-        "seq" => Algo::Sequential,
-        "naive" => Algo::Naive,
-        "hpc1d" => Algo::Hpc1D,
-        "hpc2d" => Algo::Hpc2D,
-        other => {
-            eprintln!("unknown algorithm '{other}'");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(errors) => {
+            print_help();
+            eprintln!("\n{}", NmfError::InvalidArgs { errors });
             exit(2);
         }
     };
-    let solver = match args.solver.as_str() {
-        "bpp" => SolverKind::Bpp,
-        "mu" => SolverKind::Mu,
-        "hals" => SolverKind::Hals,
-        "activeset" => SolverKind::ActiveSet,
-        other => {
-            eprintln!("unknown solver '{other}'");
-            exit(2);
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        exit(2);
+    }
+}
+
+fn run(args: &Args) -> Result<(), NmfError> {
+    let input = load_input(args)?;
+    let ks = args.ks();
+
+    if let Some(path) = &args.resume {
+        let mut model = Model::load(path, &input)?;
+        check_resume_conflicts(args, &model)?;
+        if let Some(iters) = args.iters {
+            model.set_max_iters(iters);
         }
-    };
-    let mut config = NmfConfig::new(args.k)
-        .with_max_iters(args.iters)
-        .with_solver(solver)
-        .with_seed(args.seed);
+        if !args.json {
+            println!(
+                "resuming {} at iteration {} from {}",
+                model.algo().name(),
+                model.iterations(),
+                path.display()
+            );
+        }
+        let ckpt = args.checkpoint.clone().unwrap_or_else(|| path.clone());
+        drive_and_report(args, &input, &mut model, Some(&ckpt))?;
+        return Ok(());
+    }
+
+    let mut model: Option<Model> = None;
+    for &k in &ks {
+        let config = args.config(k);
+        let mdl = match &mut model {
+            None => {
+                let algo = args.algo.unwrap_or(Algo::Hpc2D);
+                let ranks = if matches!(algo, Algo::Sequential) {
+                    1
+                } else {
+                    args.ranks.unwrap_or(4)
+                };
+                model = Some(
+                    Nmf::on(&input)
+                        .config(config)
+                        .algo(algo)
+                        .ranks(ranks)
+                        .build()?,
+                );
+                model.as_mut().expect("just built")
+            }
+            Some(mdl) => {
+                // Sweep continuation: same data, same universe, next k.
+                mdl.refit(config)?;
+                mdl
+            }
+        };
+        if !args.json {
+            let grid = mdl.grid();
+            println!(
+                "{}x{} ({} nnz), {} on {} ranks (grid {}x{}), k={}, solver {:?}",
+                mdl.shape().0,
+                mdl.shape().1,
+                input.nnz(),
+                mdl.algo().name(),
+                mdl.ranks(),
+                grid.pr,
+                grid.pc,
+                k,
+                mdl.config().solver
+            );
+        }
+        drive_and_report(args, &input, mdl, args.checkpoint.as_deref())?;
+    }
+    Ok(())
+}
+
+/// Flags given alongside `--resume` must agree with what the checkpoint
+/// recorded — a silent mismatch would "resume" a different experiment.
+fn check_resume_conflicts(args: &Args, model: &Model) -> Result<(), NmfError> {
+    let mut errors = Vec::new();
+    let meta = model.meta();
+    if let Some(ks) = &args.ks {
+        if ks != &[meta.config.k] {
+            errors.push(format!(
+                "--k {:?} conflicts with the checkpoint (written with k={})",
+                ks, meta.config.k
+            ));
+        }
+    }
+    if let Some(a) = args.algo {
+        if a != meta.algo {
+            errors.push(format!(
+                "--algo {} conflicts with the checkpoint (written with {})",
+                a.name(),
+                meta.algo.name()
+            ));
+        }
+    }
+    if let Some(p) = args.ranks {
+        if p != meta.ranks {
+            errors.push(format!(
+                "--ranks {p} conflicts with the checkpoint (written with {})",
+                meta.ranks
+            ));
+        }
+    }
+    if let Some(s) = args.solver {
+        if s != meta.config.solver {
+            errors.push(format!(
+                "--solver {s:?} conflicts with the checkpoint (written with {:?})",
+                meta.config.solver
+            ));
+        }
+    }
+    if let Some(s) = args.seed {
+        if s != meta.config.seed {
+            errors.push(format!(
+                "--seed {s} conflicts with the checkpoint (written with {})",
+                meta.config.seed
+            ));
+        }
+    }
     if let Some(t) = args.tol {
-        config = config.with_tol(t);
+        if meta.config.tol != Some(t) {
+            errors.push(format!(
+                "--tol {t} conflicts with the checkpoint (written with {}); the resumed \
+                 run keeps the recorded convergence settings",
+                match meta.config.tol {
+                    Some(ct) => format!("tol {ct}"),
+                    None => "no tolerance".to_string(),
+                }
+            ));
+        }
     }
-
-    let grid = algo.grid(m, n, args.ranks);
-    if !args.json {
-        println!(
-            "{}x{} ({} nnz), {} on {} ranks (grid {}x{}), k={}, solver {:?}",
-            m,
-            n,
-            input.nnz(),
-            algo.name(),
-            args.ranks,
-            grid.pr,
-            grid.pc,
-            args.k,
-            solver
-        );
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(NmfError::InvalidArgs { errors })
     }
+}
 
-    let t0 = std::time::Instant::now();
-    let out = factorize(&input, args.ranks, algo, &config);
+/// Steps the model to its stopping condition, writing checkpoints along
+/// the way when configured, then prints the summary.
+fn drive_and_report(
+    args: &Args,
+    input: &Input,
+    model: &mut Model,
+    ckpt: Option<&Path>,
+) -> Result<(), NmfError> {
+    let every = args.checkpoint_every.unwrap_or(0);
+    let limit = model.config().max_iters;
+    let t0 = Instant::now();
+    let stop = loop {
+        if model.iterations() >= limit {
+            break StopReason::MaxIters;
+        }
+        model.step();
+        if every > 0 && model.iterations().is_multiple_of(every) {
+            if let Some(path) = ckpt {
+                model.save(path)?;
+            }
+        }
+        if let Some(r) = model.stop_reason() {
+            break r;
+        }
+    };
     let wall = t0.elapsed();
+    if let Some(path) = ckpt {
+        model.save(path)?;
+        if !args.json {
+            println!("checkpoint written to {}", path.display());
+        }
+    }
 
     if args.json {
-        print_json(&args, &input, algo, grid, solver, &out, wall);
-        return;
+        print_json(input, model, stop, wall);
+    } else {
+        print_human(model, stop, wall);
     }
+    Ok(())
+}
 
+fn print_human(model: &Model, stop: StopReason, wall: Duration) {
+    let iters = model.records().len();
     println!(
         "\n{} iterations in {:.2?} ({:.4} s/iter), stopped: {}",
-        out.iterations,
+        iters,
         wall,
-        wall.as_secs_f64() / out.iterations.max(1) as f64,
-        out.stop.as_str()
+        wall.as_secs_f64() / iters.max(1) as f64,
+        stop.as_str()
     );
-    println!("relative error: {:.6}", out.rel_error);
-    println!("objective:      {:.6e}", out.objective);
-    if !out.rank_comm.is_empty() {
-        let comm = total_comm(&out);
+    println!("relative error: {:.6}", model.rel_error());
+    println!("objective:      {:.6e}", model.objective());
+    let comm = model.total_comm();
+    if comm.total_messages() > 0 {
         println!("\ncommunication (all ranks):");
         for op in [Op::AllGather, Op::ReduceScatter, Op::AllReduce] {
             let s = comm.op(op);
@@ -253,40 +503,36 @@ fn jnum(x: f64) -> String {
     }
 }
 
-/// One JSON object on stdout: everything a benchmark script wants,
-/// hand-rolled (the container pulls no serde).
-fn print_json(
-    args: &Args,
-    input: &Input,
-    algo: Algo,
-    grid: hpc_nmf::Grid,
-    solver: SolverKind,
-    out: &NmfOutput,
-    wall: std::time::Duration,
-) {
-    let (m, n) = input.shape();
-    let compute = out.compute_total();
-    let comm = total_comm(out);
+/// One JSON object per fitted rank on stdout: everything a benchmark or
+/// model-selection script wants, hand-rolled (the container pulls no
+/// serde).
+fn print_json(input: &Input, model: &Model, stop: StopReason, wall: Duration) {
+    let (m, n) = model.shape();
+    let grid = model.grid();
+    let config = model.config();
+    let compute = model.compute_total();
+    let comm = model.total_comm();
     let mut s = String::with_capacity(1024);
     s.push('{');
     s.push_str(&format!(
         "\"algo\":\"{}\",\"m\":{m},\"n\":{n},\"nnz\":{},\"ranks\":{},\"grid\":[{},{}],\"k\":{},\"solver\":\"{:?}\",\"seed\":{},",
-        algo.name(),
+        model.algo().name(),
         input.nnz(),
-        args.ranks,
+        model.ranks(),
         grid.pr,
         grid.pc,
-        args.k,
-        solver,
-        args.seed
+        config.k,
+        config.solver,
+        config.seed
     ));
     s.push_str(&format!(
-        "\"iterations\":{},\"stop\":\"{}\",\"wall_seconds\":{:.6},\"objective\":{},\"rel_error\":{},",
-        out.iterations,
-        out.stop.as_str(),
+        "\"iterations\":{},\"total_iterations\":{},\"stop\":\"{}\",\"wall_seconds\":{:.6},\"objective\":{},\"rel_error\":{},",
+        model.records().len(),
+        model.iterations(),
+        stop.as_str(),
         wall.as_secs_f64(),
-        jnum(out.objective),
-        jnum(out.rel_error)
+        jnum(model.objective()),
+        jnum(model.rel_error())
     ));
     s.push_str(&format!(
         "\"compute_seconds\":{{\"mm\":{:.6},\"nls\":{:.6},\"gram\":{:.6}}},",
@@ -295,7 +541,7 @@ fn print_json(
         compute.gram.as_secs_f64()
     ));
     s.push_str("\"objective_history\":[");
-    for (i, rec) in out.iters.iter().enumerate() {
+    for (i, rec) in model.records().iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
@@ -320,4 +566,59 @@ fn print_json(
     }
     s.push_str("}}");
     println!("{s}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_rank_sweep() {
+        let args = parse_args(&argv("--dataset ssyn --k 4,8,16 --json")).expect("valid");
+        assert_eq!(args.ks(), vec![4, 8, 16]);
+        assert!(args.json);
+    }
+
+    #[test]
+    fn accumulates_every_error() {
+        let errs = parse_args(&argv(
+            "--bogus --k x --solver nope --algo what --checkpoint-every 0",
+        ))
+        .expect_err("invalid");
+        assert!(
+            errs.len() >= 5,
+            "expected all errors reported, got {errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("--bogus")));
+        assert!(errs.iter().any(|e| e.contains("comma list")));
+        assert!(errs.iter().any(|e| e.contains("unknown solver")));
+        assert!(errs.iter().any(|e| e.contains("unknown algorithm")));
+        assert!(errs.iter().any(|e| e.contains("--checkpoint-every")));
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let errs = parse_args(&argv("--dataset")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("missing value")));
+    }
+
+    #[test]
+    fn checkpoint_every_requires_a_path() {
+        let errs = parse_args(&argv("--checkpoint-every 5")).expect_err("invalid");
+        assert!(errs[0].contains("--checkpoint FILE"));
+        assert!(parse_args(&argv("--checkpoint f.ckpt --checkpoint-every 5")).is_ok());
+        assert!(parse_args(&argv("--resume f.ckpt --checkpoint-every 5")).is_ok());
+    }
+
+    #[test]
+    fn sweeps_exclude_resume_and_checkpoint() {
+        let errs = parse_args(&argv("--k 4,8 --resume f.ckpt")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("sweep")));
+        let errs = parse_args(&argv("--k 4,8 --checkpoint f.ckpt")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("sweep")));
+    }
 }

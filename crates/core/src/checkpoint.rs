@@ -1,0 +1,649 @@
+//! Durable checkpoints: a versioned, endian-stable on-disk snapshot of a
+//! factorization in flight.
+//!
+//! A checkpoint is *complete*: the assembled global factors, the
+//! [`ConvergenceState`], and the full run configuration (shape, grid,
+//! algorithm, solver, seed, policy). Because the engine's iterate
+//! trajectory is a pure function of the factors (no hidden solver or
+//! workspace state carries information between iterations — the property
+//! pinned down by `tests/checkpoint_resume.rs`), a run resumed from a
+//! checkpoint continues the **bit-identical** trajectory of the
+//! uninterrupted run, on any machine with the same float semantics.
+//!
+//! ## Format (version 1)
+//!
+//! All multi-byte values are **little-endian**; floats are IEEE-754
+//! `f64` bit patterns (written with `to_le_bytes`, so `NaN`/`±inf`
+//! round-trip exactly). See `docs/checkpoint-format.md` for the
+//! byte-level layout. In outline:
+//!
+//! ```text
+//! magic "NMFCKPT\0" | version u32 | meta | fingerprint u64
+//!   | convergence state | W block | Hᵀ block | checksum u64
+//! ```
+//!
+//! Two integrity fields guard two failure classes:
+//!
+//! * the trailing **checksum** (FNV-1a over every preceding byte)
+//!   detects corruption and truncation of the file as a whole;
+//! * the **config fingerprint** (FNV-1a over the serialized meta block)
+//!   is also exposed via [`CheckpointMeta::fingerprint`] so callers can
+//!   cheaply compare a checkpoint's configuration against a fresh one
+//!   (e.g. `nmf_cli --resume` rejecting contradictory flags).
+//!
+//! Writes go through a sibling temp file + rename, so a crash mid-write
+//! leaves the previous checkpoint intact rather than a torn file.
+
+use crate::config::{ConvergencePolicy, NmfConfig};
+use crate::engine::ConvergenceState;
+use crate::error::NmfError;
+use crate::grid::Grid;
+use crate::harness::Algo;
+use nmf_matrix::Mat;
+use nmf_nls::SolverKind;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// File magic: identifies the format before any parsing.
+const MAGIC: &[u8; 8] = b"NMFCKPT\0";
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything about the run a checkpoint captures besides the factors
+/// and convergence state: the problem shape and the full configuration
+/// needed to rebuild an identical session.
+#[derive(Clone, Debug)]
+pub struct CheckpointMeta {
+    /// Global input shape the factors belong to.
+    pub m: usize,
+    pub n: usize,
+    /// Virtual ranks of the run.
+    pub ranks: usize,
+    /// The algorithm as requested (grid captured separately).
+    pub algo: Algo,
+    /// The processor grid actually used.
+    pub grid: Grid,
+    /// The full run configuration (k, solver, seed, policy, ...).
+    pub config: NmfConfig,
+}
+
+impl CheckpointMeta {
+    /// FNV-1a fingerprint of the serialized configuration — equal iff
+    /// two checkpoints describe the same problem and run configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(128);
+        self.encode(&mut buf);
+        fnv1a(&buf)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.m as u64);
+        put_u64(out, self.n as u64);
+        put_u64(out, self.ranks as u64);
+        let (algo_tag, grid) = match self.algo {
+            Algo::Sequential => (0u32, self.grid),
+            Algo::Naive => (1, self.grid),
+            Algo::Hpc1D => (2, self.grid),
+            Algo::Hpc2D => (3, self.grid),
+            Algo::HpcGrid(g) => (4, g),
+        };
+        put_u32(out, algo_tag);
+        put_u64(out, grid.pr as u64);
+        put_u64(out, grid.pc as u64);
+        let c = &self.config;
+        put_u64(out, c.k as u64);
+        put_u64(out, c.max_iters as u64);
+        put_u32(
+            out,
+            match c.solver {
+                SolverKind::Bpp => 0,
+                SolverKind::Mu => 1,
+                SolverKind::Hals => 2,
+                SolverKind::ActiveSet => 3,
+            },
+        );
+        put_u64(out, c.seed);
+        put_f64(out, c.l2_w);
+        put_f64(out, c.l2_h);
+        put_opt_f64(out, c.tol);
+        match c.convergence {
+            None => out.push(0),
+            Some(ConvergencePolicy::MaxIters) => out.push(1),
+            Some(ConvergencePolicy::RelTol { tol }) => {
+                out.push(2);
+                put_f64(out, tol);
+            }
+            Some(ConvergencePolicy::WindowedBudget {
+                window,
+                tol,
+                budget,
+            }) => {
+                out.push(3);
+                put_u64(out, window as u64);
+                put_f64(out, tol);
+                match budget {
+                    None => out.push(0),
+                    Some(b) => {
+                        out.push(1);
+                        put_u64(out, b.as_nanos().min(u128::from(u64::MAX)) as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<CheckpointMeta, String> {
+        let m = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let ranks = r.u64()? as usize;
+        let algo_tag = r.u32()?;
+        let pr = r.u64()? as usize;
+        let pc = r.u64()? as usize;
+        if pr == 0 || pc == 0 {
+            return Err(format!("invalid grid {pr}x{pc}"));
+        }
+        let grid = Grid::new(pr, pc);
+        let algo = match algo_tag {
+            0 => Algo::Sequential,
+            1 => Algo::Naive,
+            2 => Algo::Hpc1D,
+            3 => Algo::Hpc2D,
+            4 => Algo::HpcGrid(grid),
+            t => return Err(format!("unknown algorithm tag {t}")),
+        };
+        let k = r.u64()? as usize;
+        let max_iters = r.u64()? as usize;
+        let solver = match r.u32()? {
+            0 => SolverKind::Bpp,
+            1 => SolverKind::Mu,
+            2 => SolverKind::Hals,
+            3 => SolverKind::ActiveSet,
+            t => return Err(format!("unknown solver tag {t}")),
+        };
+        let seed = r.u64()?;
+        let l2_w = r.f64()?;
+        let l2_h = r.f64()?;
+        let tol = r.opt_f64()?;
+        let convergence = match r.u8()? {
+            0 => None,
+            1 => Some(ConvergencePolicy::MaxIters),
+            2 => Some(ConvergencePolicy::RelTol { tol: r.f64()? }),
+            3 => {
+                let window = r.u64()? as usize;
+                let wtol = r.f64()?;
+                let budget = match r.u8()? {
+                    0 => None,
+                    1 => Some(Duration::from_nanos(r.u64()?)),
+                    t => return Err(format!("unknown budget flag {t}")),
+                };
+                Some(ConvergencePolicy::WindowedBudget {
+                    window,
+                    tol: wtol,
+                    budget,
+                })
+            }
+            t => return Err(format!("unknown policy tag {t}")),
+        };
+        let mut config = NmfConfig::new(k);
+        config.max_iters = max_iters;
+        config.solver = solver;
+        config.seed = seed;
+        config.l2_w = l2_w;
+        config.l2_h = l2_h;
+        config.tol = tol;
+        config.convergence = convergence;
+        Ok(CheckpointMeta {
+            m,
+            n,
+            ranks,
+            algo,
+            grid,
+            config,
+        })
+    }
+}
+
+/// A parsed checkpoint: metadata, convergence state, and the assembled
+/// global factors (`w` is `m×k`; `ht` is `n×k`, `H` transposed).
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub meta: CheckpointMeta,
+    pub state: ConvergenceState,
+    pub w: Mat,
+    pub ht: Mat,
+}
+
+/// Serializes and writes a checkpoint to `path`, atomically (temp file +
+/// rename in the destination directory).
+pub fn write_checkpoint(path: &Path, ck: &Checkpoint) -> Result<(), NmfError> {
+    let io = |source| NmfError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let bytes = encode(ck);
+    let tmp = tmp_sibling(path);
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(&bytes).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Reads and validates a checkpoint from `path`: magic, version, config
+/// fingerprint, internal shape consistency, and whole-file checksum.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, NmfError> {
+    let io = |source| NmfError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let corrupt = |reason: String| NmfError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io)?
+        .read_to_end(&mut bytes)
+        .map_err(io)?;
+    decode(&bytes, path).map_err(|e| match e {
+        DecodeError::Corrupt(reason) => corrupt(reason),
+        DecodeError::Version(found) => NmfError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found,
+            supported: FORMAT_VERSION,
+        },
+        DecodeError::Fingerprint { expected, found } => {
+            NmfError::FingerprintMismatch { expected, found }
+        }
+        DecodeError::Shape {
+            field,
+            expected,
+            found,
+        } => NmfError::CheckpointMismatch {
+            field,
+            expected,
+            found,
+        },
+    })
+}
+
+fn encode(ck: &Checkpoint) -> Vec<u8> {
+    let (m, n, k) = (ck.meta.m, ck.meta.n, ck.meta.config.k);
+    debug_assert_eq!(ck.w.shape(), (m, k), "checkpoint W must be assembled m x k");
+    debug_assert_eq!(
+        ck.ht.shape(),
+        (n, k),
+        "checkpoint Ht must be assembled n x k"
+    );
+    let mut out = Vec::with_capacity(256 + 8 * (ck.w.len() + ck.ht.len()));
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+
+    let mut meta = Vec::with_capacity(128);
+    ck.meta.encode(&mut meta);
+    put_u64(&mut out, meta.len() as u64);
+    out.extend_from_slice(&meta);
+    put_u64(&mut out, fnv1a(&meta));
+
+    let st = &ck.state;
+    put_f64(&mut out, st.prev_objective);
+    put_opt_f64(&mut out, st.first_objective);
+    put_u64(&mut out, st.iterations_done as u64);
+    put_u64(&mut out, st.objective_history.len() as u64);
+    for &x in &st.objective_history {
+        put_f64(&mut out, x);
+    }
+    put_u64(
+        &mut out,
+        st.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+
+    put_mat(&mut out, &ck.w);
+    put_mat(&mut out, &ck.ht);
+
+    let sum = fnv1a(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+enum DecodeError {
+    Corrupt(String),
+    Version(u32),
+    Fingerprint {
+        expected: u64,
+        found: u64,
+    },
+    Shape {
+        field: &'static str,
+        expected: usize,
+        found: usize,
+    },
+}
+
+fn decode(bytes: &[u8], _path: &Path) -> Result<Checkpoint, DecodeError> {
+    let corrupt = |s: &str| DecodeError::Corrupt(s.to_string());
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(corrupt("file shorter than the header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic (not an NMF checkpoint)"));
+    }
+    // Version is checked before the checksum so a reader can say
+    // "written by a newer format" instead of "corrupt".
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::Version(version));
+    }
+    if bytes.len() < 8 + 4 + 8 {
+        return Err(corrupt("truncated before the meta block"));
+    }
+    let body_len = bytes.len() - 8;
+    let stored_sum = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    if fnv1a(&bytes[..body_len]) != stored_sum {
+        return Err(corrupt(
+            "checksum mismatch (the file was truncated or altered)",
+        ));
+    }
+
+    let mut r = Cursor {
+        bytes: &bytes[..body_len],
+        pos: 12,
+    };
+    let meta_len = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    let meta_start = r.pos;
+    let meta_bytes = r.take(meta_len).map_err(DecodeError::Corrupt)?.to_vec();
+    let mut mr = Cursor {
+        bytes: &meta_bytes,
+        pos: 0,
+    };
+    let meta = CheckpointMeta::decode(&mut mr).map_err(DecodeError::Corrupt)?;
+    debug_assert_eq!(meta_start + meta_len, r.pos);
+    let stored_fp = r.u64().map_err(DecodeError::Corrupt)?;
+    let actual_fp = fnv1a(&meta_bytes);
+    if stored_fp != actual_fp {
+        return Err(DecodeError::Fingerprint {
+            expected: actual_fp,
+            found: stored_fp,
+        });
+    }
+
+    let prev_objective = r.f64().map_err(DecodeError::Corrupt)?;
+    let first_objective = r.opt_f64().map_err(DecodeError::Corrupt)?;
+    let iterations_done = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    let hist_len = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    if hist_len > body_len {
+        return Err(corrupt("objective history longer than the file"));
+    }
+    let mut objective_history = Vec::with_capacity(hist_len);
+    for _ in 0..hist_len {
+        objective_history.push(r.f64().map_err(DecodeError::Corrupt)?);
+    }
+    let elapsed = Duration::from_nanos(r.u64().map_err(DecodeError::Corrupt)?);
+
+    let w = r.mat().map_err(DecodeError::Corrupt)?;
+    let ht = r.mat().map_err(DecodeError::Corrupt)?;
+    if r.pos != body_len {
+        return Err(corrupt("trailing bytes after the factor blocks"));
+    }
+
+    let (m, n, k) = (meta.m, meta.n, meta.config.k);
+    for (field, expected, found) in [
+        ("W rows", m, w.nrows()),
+        ("W cols", k, w.ncols()),
+        ("H^T rows", n, ht.nrows()),
+        ("H^T cols", k, ht.ncols()),
+    ] {
+        if expected != found {
+            return Err(DecodeError::Shape {
+                field,
+                expected,
+                found,
+            });
+        }
+    }
+
+    Ok(Checkpoint {
+        meta,
+        state: ConvergenceState {
+            prev_objective,
+            first_objective,
+            iterations_done,
+            objective_history,
+            elapsed,
+        },
+        w,
+        ht,
+    })
+}
+
+/* ---- byte-level helpers ---- */
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, x: Option<f64>) {
+    match x {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+    }
+}
+
+fn put_mat(out: &mut Vec<u8>, m: &Mat) {
+    put_u64(out, m.nrows() as u64);
+    put_u64(out, m.ncols() as u64);
+    for &x in m.as_slice() {
+        put_f64(out, x);
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        // Compare against `remaining` (never `pos + n`, which a crafted
+        // length field could overflow).
+        if n > self.remaining() {
+            return Err(format!(
+                "truncated: needed {n} bytes at offset {}, file body has {}",
+                self.pos,
+                self.bytes.len()
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            t => Err(format!("unknown option flag {t}")),
+        }
+    }
+
+    fn mat(&mut self) -> Result<Mat, String> {
+        let nr = self.u64()? as usize;
+        let nc = self.u64()? as usize;
+        // Bound the claimed extent by the bytes actually present before
+        // any multiplication or allocation, so a crafted header (with a
+        // re-stamped checksum) is rejected as corrupt rather than
+        // panicking on overflow or an absurd Vec reservation.
+        let words = nr
+            .checked_mul(nc)
+            .filter(|&w| w <= self.remaining() / 8)
+            .ok_or_else(|| {
+                format!(
+                    "factor block claims {nr}x{nc} values but only {} bytes remain",
+                    self.remaining()
+                )
+            })?;
+        let raw = self.take(8 * words)?;
+        let mut data = Vec::with_capacity(words);
+        for chunk in raw.chunks_exact(8) {
+            data.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        Ok(Mat::from_vec(nr, nc, data))
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A unique temp-file path next to `path` (same filesystem, so the
+/// rename is atomic).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::rng::Fill;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            meta: CheckpointMeta {
+                m: 12,
+                n: 9,
+                ranks: 4,
+                algo: Algo::Hpc2D,
+                grid: Grid::new(2, 2),
+                config: NmfConfig::new(3).with_max_iters(7).with_seed(5),
+            },
+            state: ConvergenceState {
+                prev_objective: 42.5,
+                first_objective: Some(99.0),
+                iterations_done: 3,
+                objective_history: vec![99.0, 60.0, 42.5],
+                elapsed: Duration::from_millis(1234),
+            },
+            w: Mat::uniform(12, 3, 1),
+            ht: Mat::uniform(9, 3, 2),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let ck = sample();
+        let bytes = encode(&ck);
+        let back = decode(&bytes, Path::new("mem")).ok().expect("decodes");
+        assert_eq!(back.w, ck.w);
+        assert_eq!(back.ht, ck.ht);
+        assert_eq!(back.state, ck.state);
+        assert_eq!(back.meta.m, ck.meta.m);
+        assert_eq!(back.meta.config.k, ck.meta.config.k);
+        assert_eq!(back.meta.fingerprint(), ck.meta.fingerprint());
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode(&sample());
+        for cut in [5, 11, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut], Path::new("mem")).is_err(),
+                "truncation at {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = encode(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode(&bytes, Path::new("mem")),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_factor_extent_is_corrupt_not_a_panic() {
+        // Edit the W block to claim 2^61 rows and re-stamp the trailing
+        // checksum (FNV is not cryptographic; the format's contract is
+        // a *decode error*, never a panic or giant allocation).
+        let ck = sample();
+        let mut bytes = encode(&ck);
+        // W block starts right after the state: find it by re-encoding
+        // the prefix — simpler: locate the nrows field by value.
+        let needle = (ck.w.nrows() as u64).to_le_bytes();
+        let ncols = (ck.w.ncols() as u64).to_le_bytes();
+        let pos = (0..bytes.len() - 16)
+            .find(|&i| bytes[i..i + 8] == needle && bytes[i + 8..i + 16] == ncols)
+            .expect("W header present");
+        bytes[pos..pos + 8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, Path::new("mem")),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn infinities_round_trip() {
+        let mut ck = sample();
+        ck.state.prev_objective = f64::INFINITY;
+        ck.state.first_objective = None;
+        let back = decode(&encode(&ck), Path::new("mem"))
+            .ok()
+            .expect("decodes");
+        assert_eq!(back.state.prev_objective, f64::INFINITY);
+        assert_eq!(back.state.first_objective, None);
+    }
+}

@@ -842,6 +842,22 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
         }
     }
 
+    /// Replaces the convergence policy for subsequent iterations.
+    ///
+    /// Collective discipline: every rank of a distributed run must set
+    /// the same policy at the same iteration boundary (a policy with a
+    /// wall-clock budget adds a word to the objective all-reduce, so a
+    /// divergent change desynchronizes the collective schedule).
+    pub fn set_policy(&mut self, policy: ConvergencePolicy) {
+        self.policy = policy;
+    }
+
+    /// Snapshot of this rank's cumulative communication counters (all
+    /// collectives since the communicator was created, including setup).
+    pub fn comm_stats(&self) -> CommStats {
+        self.scheme.comm_stats()
+    }
+
     /// Restores exported convergence bookkeeping so a resumed run makes
     /// the same stopping decisions as an uninterrupted one — including
     /// the windowed policy's look-back across the checkpoint boundary
@@ -892,10 +908,122 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
     }
 }
 
+/// The object-safe face of [`AnlsEngine`]: everything the session layer
+/// needs from an engine, with the `CommScheme`/`AnlsData` generics
+/// erased behind a `Box<dyn EngineDyn>`.
+///
+/// The generic engine is the right tool *inside* one rank's stack frame,
+/// where the scheme can borrow the communicator and the data blocks. A
+/// long-lived handle cannot name those lifetimes — so each session
+/// worker builds its concrete `AnlsEngine<S, D>` in its own frame and
+/// serves it through this trait, and the controller never learns which
+/// of the three schemes is running. Every method forwards to the
+/// inherent `AnlsEngine` method of the same name ([`step_dyn`] clones
+/// the record instead of borrowing it, the one signature change object
+/// safety forces).
+///
+/// [`step_dyn`]: EngineDyn::step_dyn
+pub trait EngineDyn {
+    /// One ANLS outer iteration; returns an owned copy of its record.
+    fn step_dyn(&mut self) -> IterRecord;
+    /// The current iterates: this rank's `W` slice and transposed `H`
+    /// slice.
+    fn factors(&self) -> (&Mat, &Mat);
+    /// Per-iteration records so far.
+    fn records(&self) -> &[IterRecord];
+    /// Iterations executed so far (including restored ones).
+    fn iterations(&self) -> usize;
+    /// Objective after the latest iteration (`‖A‖²` before the first).
+    fn objective(&self) -> f64;
+    /// Why the engine last decided to stop, if it has.
+    fn stop_reason(&self) -> Option<StopReason>;
+    /// Exports the convergence bookkeeping (for checkpointing).
+    fn convergence_state(&self) -> ConvergenceState;
+    /// Restores exported convergence bookkeeping (after a resume).
+    fn restore_convergence_state(&mut self, state: ConvergenceState);
+    /// Replaces the convergence policy for subsequent iterations.
+    fn set_policy(&mut self, policy: ConvergencePolicy);
+    /// Cumulative communication counters of this rank.
+    fn comm_stats(&self) -> CommStats;
+    /// Steals the workspace for reuse in a successor engine (e.g. a
+    /// rank-sweep refit); the engine must not be stepped afterwards.
+    fn take_workspace(&mut self) -> IterWorkspace;
+}
+
+impl<S: CommScheme, D: AnlsData> EngineDyn for AnlsEngine<S, D> {
+    fn step_dyn(&mut self) -> IterRecord {
+        AnlsEngine::step(self).clone()
+    }
+
+    fn factors(&self) -> (&Mat, &Mat) {
+        AnlsEngine::factors(self)
+    }
+
+    fn records(&self) -> &[IterRecord] {
+        AnlsEngine::records(self)
+    }
+
+    fn iterations(&self) -> usize {
+        AnlsEngine::iterations(self)
+    }
+
+    fn objective(&self) -> f64 {
+        AnlsEngine::objective(self)
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        AnlsEngine::stop_reason(self)
+    }
+
+    fn convergence_state(&self) -> ConvergenceState {
+        AnlsEngine::convergence_state(self)
+    }
+
+    fn restore_convergence_state(&mut self, state: ConvergenceState) {
+        AnlsEngine::restore_convergence_state(self, state);
+    }
+
+    fn set_policy(&mut self, policy: ConvergencePolicy) {
+        AnlsEngine::set_policy(self, policy);
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        AnlsEngine::comm_stats(self)
+    }
+
+    fn take_workspace(&mut self) -> IterWorkspace {
+        std::mem::take(&mut self.ws)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nmf_matrix::rng::Fill;
+
+    #[test]
+    fn engine_dyn_erases_the_scheme() {
+        let input = Input::Dense(Mat::uniform(18, 12, 3));
+        let config = NmfConfig::new(2).with_max_iters(3).with_seed(8);
+        let w0 = crate::config::init_w(18, 2, config.seed);
+        let ht0 = crate::config::init_ht(12, 2, config.seed);
+        let mut boxed: Box<dyn EngineDyn + '_> = Box::new(AnlsEngine::new(
+            LocalScheme::new(18, 12),
+            &input,
+            &config,
+            w0,
+            ht0,
+        ));
+        let rec = boxed.step_dyn();
+        assert!(rec.objective.is_finite());
+        assert_eq!(boxed.iterations(), 1);
+        assert_eq!(boxed.records().len(), 1);
+        let (w, ht) = boxed.factors();
+        assert_eq!(w.shape(), (18, 2));
+        assert_eq!(ht.shape(), (12, 2));
+        let st = boxed.convergence_state();
+        assert_eq!(st.iterations_done, 1);
+    }
 
     #[test]
     fn local_scheme_runs_and_reports() {

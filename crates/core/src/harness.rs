@@ -1,21 +1,22 @@
-//! Convenience front-end: run any driver on a shared input matrix.
+//! Batch front-end: run any algorithm to completion on a shared input.
 //!
-//! In a production MPI deployment each rank reads its own block from
-//! storage; in this reproduction the harness holds the global matrix,
-//! launches a virtual-MPI universe, hands every rank its block(s), and
-//! reassembles the distributed factors afterwards. Only the block
-//! extraction is "free" relative to a real deployment — all iteration
-//! communication goes through the virtual MPI and is fully counted.
+//! Since the session API landed, this module is a thin compatibility
+//! wrapper: [`factorize`] builds a [`Model`](crate::session::Model)
+//! through [`Nmf`](crate::session::Nmf::on), runs it to its stopping
+//! condition, and assembles the classic [`NmfOutput`]. One-shot
+//! factorization is now a specialization of the resumable session, not
+//! the other way around — new code should prefer
+//! [`Nmf::on(..)`](crate::session::Nmf::on) directly, which reports
+//! invalid requests as [`NmfError`](crate::error::NmfError) values
+//! instead of this wrapper's historical panics.
 
-use crate::config::{init_ht, init_w, IterRecord, NmfConfig, NmfOutput};
-use crate::dist::{Dist1D, Part};
+use crate::config::{NmfConfig, NmfOutput};
 use crate::grid::Grid;
-use crate::hpc::hpc_nmf_rank;
 use crate::input::Input;
-use crate::naive::{naive_nmf_rank, RankNmfOutput};
+use crate::session::Nmf;
 
 use nmf_matrix::Mat;
-use nmf_vmpi::{universe, CommStats, RankResult};
+use nmf_vmpi::CommStats;
 
 /// Which parallel algorithm (and grid) to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,8 +63,8 @@ impl Algo {
 /// plus per-rank instrumentation.
 pub fn factorize(input: &Input, p: usize, algo: Algo, config: &NmfConfig) -> NmfOutput {
     let (m, n) = input.shape();
-    let w0 = init_w(m, config.k, config.seed);
-    let ht0 = init_ht(n, config.k, config.seed);
+    let w0 = crate::config::init_w(m, config.k, config.seed);
+    let ht0 = crate::config::init_ht(n, config.k, config.seed);
     factorize_from(input, p, algo, config, w0, ht0)
 }
 
@@ -81,163 +82,25 @@ pub fn factorize_from(
     ht0: Mat,
 ) -> NmfOutput {
     let (m, n) = input.shape();
+    // Historical panic contract, kept for source compatibility (the
+    // builder would report these as NmfError::WarmStartShape).
     assert_eq!(w0.shape(), (m, config.k), "w0 shape mismatch");
     assert_eq!(ht0.shape(), (n, config.k), "ht0 shape mismatch");
-    match algo {
-        Algo::Sequential => crate::seq::nmf_seq_from(input, config, w0, ht0),
-        Algo::Naive => factorize_naive(input, p, config, &w0, &ht0),
-        _ => factorize_hpc(input, algo.grid(m, n, p), config, &w0, &ht0),
-    }
-}
-
-fn factorize_naive(input: &Input, p: usize, config: &NmfConfig, w0: &Mat, ht0: &Mat) -> NmfOutput {
-    let (m, n) = input.shape();
-    let k = config.k;
-    let dist_m = Dist1D::new(m, p);
-    let dist_n = Dist1D::new(n, p);
-
-    let results = universe::run(p, |comm| {
-        let r = comm.rank();
-        let rows = dist_m.part(r);
-        let cols = dist_n.part(r);
-        // Algorithm 2 stores A twice: row block and column block.
-        let row_block = input.block(rows.offset, 0, rows.len, n);
-        let col_block = input.block(0, cols.offset, m, cols.len);
-        let w0_local = w0.rows_block(rows.offset, rows.len);
-        let ht0_local = ht0.rows_block(cols.offset, cols.len);
-        naive_nmf_rank(
-            comm,
-            (m, n),
-            &row_block,
-            &col_block,
-            w0_local,
-            ht0_local,
-            config,
-        )
-    });
-
-    let w_offsets: Vec<usize> = (0..p).map(|r| dist_m.part(r).offset).collect();
-    let h_offsets: Vec<usize> = (0..p).map(|r| dist_n.part(r).offset).collect();
-    assemble(input, results, &w_offsets, &h_offsets, k)
-}
-
-/// Where one HPC-NMF rank's pieces live in the global matrices: its
-/// `Aᵢⱼ` block extent and its 1D factor slices in *global* coordinates.
-///
-/// One source of truth for the offset arithmetic shared by block
-/// extraction (before the run) and factor reassembly (after it).
-struct HpcRankLayout {
-    /// Global rows of this rank's `Aᵢⱼ` block.
-    rows: Part,
-    /// Global columns of this rank's `Aᵢⱼ` block.
-    cols: Part,
-    /// Global `W`-row slice `(Wᵢ)ⱼ`.
-    w: Part,
-    /// Global `H`-column slice `(Hⱼ)ᵢ`.
-    ht: Part,
-}
-
-fn hpc_rank_layout(grid: Grid, dist_m: &Dist1D, dist_n: &Dist1D, rank: usize) -> HpcRankLayout {
-    let (i, j) = grid.coords(rank);
-    let rows = dist_m.part(i);
-    let cols = dist_n.part(j);
-    let wpart = Dist1D::new(rows.len, grid.pc).part(j);
-    let hpart = Dist1D::new(cols.len, grid.pr).part(i);
-    HpcRankLayout {
-        rows,
-        cols,
-        w: Part {
-            offset: rows.offset + wpart.offset,
-            len: wpart.len,
-        },
-        ht: Part {
-            offset: cols.offset + hpart.offset,
-            len: hpart.len,
-        },
-    }
-}
-
-fn factorize_hpc(input: &Input, grid: Grid, config: &NmfConfig, w0: &Mat, ht0: &Mat) -> NmfOutput {
-    let (m, n) = input.shape();
-    let k = config.k;
-    let p = grid.size();
-    let dist_m = Dist1D::new(m, grid.pr);
-    let dist_n = Dist1D::new(n, grid.pc);
-
-    let results = universe::run(p, |comm| {
-        let lay = hpc_rank_layout(grid, &dist_m, &dist_n, comm.rank());
-        let local = input.block(lay.rows.offset, lay.cols.offset, lay.rows.len, lay.cols.len);
-        let w0_local = w0.rows_block(lay.w.offset, lay.w.len);
-        let ht0_local = ht0.rows_block(lay.ht.offset, lay.ht.len);
-        hpc_nmf_rank(comm, grid, (m, n), &local, w0_local, ht0_local, config)
-    });
-
-    let (w_offsets, h_offsets): (Vec<usize>, Vec<usize>) = (0..p)
-        .map(|r| {
-            let lay = hpc_rank_layout(grid, &dist_m, &dist_n, r);
-            (lay.w.offset, lay.ht.offset)
-        })
-        .unzip();
-    assemble(input, results, &w_offsets, &h_offsets, k)
-}
-
-/// Places each rank's factor slices at their global offsets and
-/// aggregates instrumentation (critical-path max across ranks).
-fn assemble(
-    input: &Input,
-    results: Vec<RankResult<RankNmfOutput>>,
-    w_offsets: &[usize],
-    h_offsets: &[usize],
-    k: usize,
-) -> NmfOutput {
-    let (m, n) = input.shape();
-    let mut w = Mat::zeros(m, k);
-    let mut ht = Mat::zeros(n, k);
-    let iterations = results
-        .iter()
-        .map(|r| r.result.iters.len())
-        .max()
-        .unwrap_or(0);
-    let mut iters: Vec<IterRecord> = Vec::with_capacity(iterations);
-    let mut rank_comm = Vec::with_capacity(results.len());
-    let stop = results[0].result.stop;
-
-    for r in &results {
-        let out = &r.result;
-        w.set_block(w_offsets[r.rank], 0, &out.w_local);
-        ht.set_block(h_offsets[r.rank], 0, &out.ht_local);
-        rank_comm.push(r.stats.clone());
-        debug_assert_eq!(out.stop, stop, "stop reason must agree across ranks");
-        for (idx, rec) in out.iters.iter().enumerate() {
-            if idx == iters.len() {
-                iters.push(rec.clone());
-            } else {
-                let agg = &mut iters[idx];
-                agg.compute = agg.compute.max(&rec.compute);
-                agg.comm.max_merge(&rec.comm);
-                debug_assert!(
-                    (agg.objective - rec.objective).abs() <= 1e-9 * agg.objective.abs().max(1.0),
-                    "objective must agree across ranks"
-                );
-            }
-        }
-    }
-
-    let norm_a_sq = input.fro_norm_sq();
-    // The final objective comes from the aggregated records — the value
-    // every rank agreed on via the objective all-reduce — not from a
-    // peek at rank 0's private field.
-    let objective = iters.last().map_or(norm_a_sq, |r| r.objective);
-    NmfOutput {
-        w,
-        h: ht.transpose(),
-        objective,
-        rel_error: objective.max(0.0).sqrt() / norm_a_sq.sqrt().max(f64::MIN_POSITIVE),
-        iters,
-        iterations,
-        stop,
-        rank_comm,
-    }
+    // The classic API ignored `p` for the sequential algorithm.
+    let ranks = if matches!(algo, Algo::Sequential) {
+        1
+    } else {
+        p
+    };
+    let mut model = Nmf::on(input)
+        .config(*config)
+        .algo(algo)
+        .ranks(ranks)
+        .warm_start(w0, ht0)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid factorization request: {e}"));
+    model.run();
+    model.into_output()
 }
 
 /// Sum of all ranks' communication counters.

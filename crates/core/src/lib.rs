@@ -7,28 +7,11 @@
 //! communication-optimal 2D-grid parallelism, running on a thread-backed
 //! virtual MPI ([`nmf_vmpi`]) with exact communication accounting.
 //!
-//! ## The three drivers
+//! ## Quickstart: the session API
 //!
-//! | Driver | Paper | Communication per iteration |
-//! |---|---|---|
-//! | [`seq::nmf_seq`] | Algorithm 1 | — (single process) |
-//! | [`naive::naive_nmf_rank`] | Algorithm 2 | `O((m+n)k)` words |
-//! | [`hpc::hpc_nmf_rank`] | Algorithm 3 | `O(min{√(mnk²/p), nk})` words |
-//!
-//! All three support dense and sparse inputs ([`input::Input`]) and any
-//! of the three local NLS solvers (BPP, MU, HALS — [`nmf_nls`]), and all
-//! start from the same seeded initialization so they perform the same
-//! computations, the paper's §6.1.3 protocol.
-//!
-//! The three drivers are thin constructors over one step-wise iteration
-//! core, [`engine::AnlsEngine`]: the ANLS loop body exists once, and the
-//! algorithms differ only in their [`engine::CommScheme`] implementation
-//! ([`engine::LocalScheme`] / [`engine::Replicated1D`] /
-//! [`engine::Grid2D`]). Drive the engine directly for step-at-a-time
-//! execution: checkpoint/resume, per-iteration observers, and serving
-//! partially converged factors.
-//!
-//! ## Quickstart
+//! [`Nmf::on`] opens a fallible builder; [`NmfBuilder::build`] validates
+//! the request up front and returns a [`Model`] — a long-lived handle
+//! that can step, run, pause, persist, and resume a factorization:
 //!
 //! ```
 //! use hpc_nmf::prelude::*;
@@ -37,38 +20,108 @@
 //!
 //! // A small random nonnegative matrix.
 //! let a = Input::Dense(Mat::uniform(60, 40, 7));
-//! // Factorize with rank 5 on 4 virtual ranks, 2D grid, BPP solver.
-//! let out = factorize(&a, 4, Algo::Hpc2D, &NmfConfig::new(5).with_max_iters(10));
-//! assert_eq!(out.w.shape(), (60, 5));
-//! assert_eq!(out.h.shape(), (5, 40));
-//! assert!(out.rel_error < 1.0);
+//!
+//! // Rank-5 factorization on 4 virtual ranks, 2D grid, BPP solver.
+//! let mut model = Nmf::on(&a)
+//!     .rank(5)
+//!     .ranks(4)
+//!     .algo(Algo::Hpc2D)
+//!     .solver(SolverKind::Bpp)
+//!     .max_iters(10)
+//!     .build()
+//!     .expect("a valid request — errors are NmfError values, not panics");
+//!
+//! // Step-at-a-time: inspect live factors mid-run...
+//! model.step();
+//! let (w, h) = model.factors();
+//! assert_eq!((w.shape(), h.shape()), ((60, 5), (5, 40)));
+//!
+//! // ...then drive to the stopping condition.
+//! let reason = model.run();
+//! assert_eq!(reason, StopReason::MaxIters);
+//! assert!(model.objective().is_finite());
 //! ```
+//!
+//! ### Checkpoint / resume
+//!
+//! [`Model::save`] writes a durable, versioned checkpoint (factors +
+//! convergence state + config fingerprint; see `docs/checkpoint-format.md`)
+//! and [`Model::load`] reconstructs the session — the resumed trajectory
+//! is **bit-identical** to the uninterrupted run:
+//!
+//! ```no_run
+//! # use hpc_nmf::prelude::*;
+//! # use nmf_matrix::rng::Fill;
+//! # let a = Input::Dense(nmf_matrix::Mat::uniform(60, 40, 7));
+//! # let mut model = Nmf::on(&a).rank(5).build().unwrap();
+//! model.step();
+//! model.save("run.ckpt")?;                    // survive a restart...
+//! let mut resumed = Model::load("run.ckpt", &a)?;  // ...in a new process
+//! resumed.run();
+//! # Ok::<(), hpc_nmf::NmfError>(())
+//! ```
+//!
+//! ## The three algorithms
+//!
+//! | [`Algo`] | Paper | Communication per iteration |
+//! |---|---|---|
+//! | [`Algo::Sequential`] | Algorithm 1 | — (single process) |
+//! | [`Algo::Naive`] | Algorithm 2 | `O((m+n)k)` words |
+//! | [`Algo::Hpc2D`] | Algorithm 3 | `O(min{√(mnk²/p), nk})` words |
+//!
+//! All three support dense and sparse inputs ([`input::Input`]) and any
+//! of the local NLS solvers (BPP, MU, HALS — [`nmf_nls`]), and all start
+//! from the same seeded initialization so they perform the same
+//! computations — the paper's §6.1.3 protocol.
+//!
+//! Under the session they share one step-wise iteration core,
+//! [`engine::AnlsEngine`]: the ANLS loop body exists once, and the
+//! algorithms differ only in their [`engine::CommScheme`] implementation
+//! ([`engine::LocalScheme`] / [`engine::Replicated1D`] /
+//! [`engine::Grid2D`]). The [`Model`] erases those generics behind the
+//! object-safe [`engine::EngineDyn`] and owns the virtual-MPI universe
+//! (one thread per rank), so a handle outlives any borrow of the
+//! communicators.
+//!
+//! The classic batch entry point [`harness::factorize`] remains as a
+//! compatibility wrapper over the session (it panics on invalid input
+//! where the builder returns [`NmfError`]).
 
+pub mod checkpoint;
 pub mod config;
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod grid;
 pub mod harness;
 pub mod hpc;
 pub mod input;
 pub mod naive;
 pub mod seq;
+pub mod session;
 pub mod workspace;
 
+pub use checkpoint::{Checkpoint, CheckpointMeta};
 pub use config::{
     init_ht, init_w, ConvergencePolicy, IterRecord, NmfConfig, NmfOutput, StopReason, TaskTimes,
 };
-pub use engine::{AnlsEngine, CommScheme, Grid2D, LocalScheme, Replicated1D};
+pub use engine::{
+    AnlsEngine, CommScheme, ConvergenceState, EngineDyn, Grid2D, LocalScheme, Replicated1D,
+};
+pub use error::NmfError;
 pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
+pub use session::{Model, Nmf, NmfBuilder};
 pub use workspace::IterWorkspace;
 
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::config::{ConvergencePolicy, NmfConfig, NmfOutput, StopReason};
+    pub use crate::error::NmfError;
     pub use crate::grid::Grid;
     pub use crate::harness::{factorize, Algo};
     pub use crate::input::Input;
+    pub use crate::session::{Model, Nmf, NmfBuilder};
     pub use nmf_nls::SolverKind;
 }

@@ -1,8 +1,54 @@
 //! Launching a virtual-MPI job: one OS thread per rank.
+//!
+//! Two entry points:
+//!
+//! * [`run`] — fork/join: spawn `p` scoped threads, run the same closure
+//!   on each, collect per-rank results. The shape of every batch driver.
+//! * [`seats`] — reserve a universe without running anything: each
+//!   [`Seat`] is a movable (`Send`) claim on one rank that a long-lived
+//!   owner (e.g. a serving session) converts into a [`Comm`] on whatever
+//!   thread will host that rank for the universe's lifetime. The `Comm`
+//!   itself is intentionally *not* `Send` (it carries per-rank `Rc`
+//!   state), so the seat is the hand-off point.
 
 use crate::comm::Comm;
 use crate::stats::CommStats;
 use crate::transport::Endpoints;
+
+/// A reserved place in a universe: everything one rank needs to join,
+/// movable across threads. Construct the set with [`seats`], move each
+/// seat into its rank's thread, and call [`Seat::into_comm`] there.
+///
+/// Dropping a seat without joining disconnects that rank; peers that
+/// later try to communicate with it will observe the disconnect and
+/// panic (the fail-stop semantics of [`run`]).
+pub struct Seat {
+    ep: Endpoints,
+}
+
+impl Seat {
+    /// The world rank this seat occupies.
+    pub fn rank(&self) -> usize {
+        self.ep.rank
+    }
+
+    /// Joins the universe: wraps the endpoints in this rank's world
+    /// communicator. Call on the thread that will run the rank.
+    pub fn into_comm(self) -> Comm {
+        Comm::world(self.ep)
+    }
+}
+
+/// Reserves a `p`-rank universe and returns one [`Seat`] per rank, in
+/// rank order. Nothing runs until each seat's owner calls
+/// [`Seat::into_comm`] and starts communicating.
+pub fn seats(p: usize) -> Vec<Seat> {
+    assert!(p >= 1, "need at least one rank");
+    Endpoints::mesh(p)
+        .into_iter()
+        .map(|ep| Seat { ep })
+        .collect()
+}
 
 /// The result of one rank's execution.
 #[derive(Debug)]
@@ -76,6 +122,24 @@ mod tests {
         let results = run(1, |comm| comm.rank());
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].result, 0);
+    }
+
+    #[test]
+    fn seats_form_a_working_universe() {
+        // Move each seat to its own (non-scoped) thread, build the Comm
+        // there, and run a collective — the long-lived-session pattern.
+        let handles: Vec<_> = seats(3)
+            .into_iter()
+            .map(|seat| {
+                std::thread::spawn(move || {
+                    let comm = seat.into_comm();
+                    comm.all_reduce_scalar(comm.rank() as f64 + 1.0)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6.0);
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Quickstart: factorize a random nonnegative matrix on a virtual
-//! processor grid and inspect the result.
+//! Quickstart: build a factorization session, inspect it mid-run, drive
+//! it to convergence, and round-trip it through a durable checkpoint.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -19,38 +19,81 @@ fn main() {
     let a = Input::Dense(nmf_matrix::matmul(&planted_w, &planted_h));
     println!("input: {}x{} dense, rank-{k} structure planted", m, n);
 
-    // Factorize on 8 virtual MPI ranks with the communication-optimal 2D
-    // grid and the BPP solver (the paper's configuration).
-    let p = 8;
-    let grid = Algo::Hpc2D.grid(m, n, p);
+    // Build a session: 8 virtual MPI ranks, communication-optimal 2D
+    // grid, BPP solver (the paper's configuration). The builder
+    // validates everything up front — errors are values, not panics.
+    let mut model = Nmf::on(&a)
+        .rank(k)
+        .ranks(8)
+        .algo(Algo::Hpc2D)
+        .solver(SolverKind::Bpp)
+        .max_iters(30)
+        .tol(1e-9)
+        .build()
+        .expect("a valid factorization request");
+    let grid = model.grid();
     println!(
-        "running HPC-NMF on p={p} ranks, grid {}x{}, solver BPP",
-        grid.pr, grid.pc
+        "running {} on p={} ranks, grid {}x{}, solver BPP",
+        model.algo().name(),
+        model.ranks(),
+        grid.pr,
+        grid.pc
     );
 
-    let config = NmfConfig::new(k).with_max_iters(30).with_tol(1e-9);
-    let out = factorize(&a, p, Algo::Hpc2D, &config);
+    // The model is a live handle: step a few iterations and peek at the
+    // factors mid-run (what a serving layer would export).
+    for _ in 0..3 {
+        model.step();
+    }
+    let (w_mid, _) = model.factors();
+    println!(
+        "after 3 iterations: objective {:.3e}, mid-run W is {}x{} (nonnegative: {})",
+        model.objective(),
+        w_mid.nrows(),
+        w_mid.ncols(),
+        w_mid.all_nonnegative()
+    );
 
-    println!("\nconverged after {} iterations", out.iterations);
-    println!("relative error ‖A−WH‖/‖A‖ = {:.3e}", out.rel_error);
+    // Persist the in-flight run, then resume it in a fresh session —
+    // the continuation is bit-identical to never having stopped.
+    let ckpt = std::env::temp_dir().join("hpc_nmf_quickstart.ckpt");
+    model.save(&ckpt).expect("checkpoint writes");
+    drop(model);
+    let mut model = Model::load(&ckpt, &a).expect("checkpoint loads");
+    println!(
+        "resumed from {} at iteration {}",
+        ckpt.display(),
+        model.iterations()
+    );
+    let reason = model.run();
+    println!(
+        "\nstopped after {} total iterations ({})",
+        model.iterations(),
+        reason.as_str()
+    );
+    let _ = std::fs::remove_file(&ckpt);
+
+    println!("relative error ‖A−WH‖/‖A‖ = {:.3e}", model.rel_error());
+    let (w, h) = model.factors();
     println!(
         "W: {}x{} nonnegative: {}",
-        out.w.nrows(),
-        out.w.ncols(),
-        out.w.all_nonnegative()
+        w.nrows(),
+        w.ncols(),
+        w.all_nonnegative()
     );
     println!(
         "H: {}x{} nonnegative: {}",
-        out.h.nrows(),
-        out.h.ncols(),
-        out.h.all_nonnegative()
+        h.nrows(),
+        h.ncols(),
+        h.all_nonnegative()
     );
 
-    println!("\nobjective history (first 10):");
-    for (i, f) in out.history().iter().take(10).enumerate() {
-        println!("  iter {i:>2}: {f:.6e}");
+    println!("\nobjective history (first 10 post-resume):");
+    for (i, rec) in model.records().iter().take(10).enumerate() {
+        println!("  iter {i:>2}: {:.6e}", rec.objective);
     }
 
+    let out = model.into_output();
     let comm = total_comm(&out);
     println!("\ncommunication totals across all ranks:");
     for op in [Op::AllGather, Op::ReduceScatter, Op::AllReduce] {
@@ -64,12 +107,21 @@ fn main() {
         );
     }
 
-    // Contrast with the naive algorithm's communication volume.
-    let naive = factorize(&a, p, Algo::Naive, &config);
+    // Contrast with the naive algorithm's communication volume, per
+    // iteration (the resumed session's counters cover only its own
+    // iterations, so raw totals would not be comparable).
+    let hpc_iters = out.iterations.max(1) as f64;
+    let naive = factorize(
+        &a,
+        8,
+        Algo::Naive,
+        &NmfConfig::new(k).with_max_iters(30).with_tol(1e-9),
+    );
+    let naive_per_iter = total_comm(&naive).total_words() as f64 / naive.iterations.max(1) as f64;
+    let hpc_per_iter = comm.total_words() as f64 / hpc_iters;
     println!(
-        "\nNaive (Algorithm 2) moved {} words; HPC-NMF moved {} words ({:.1}x less)",
-        total_comm(&naive).total_words(),
-        comm.total_words(),
-        total_comm(&naive).total_words() as f64 / comm.total_words().max(1) as f64
+        "\nNaive (Algorithm 2) moved {naive_per_iter:.0} words/iteration; \
+         HPC-NMF moved {hpc_per_iter:.0} ({:.1}x less)",
+        naive_per_iter / hpc_per_iter.max(1.0)
     );
 }

@@ -10,7 +10,6 @@
 //! cargo run --release --example video_background
 //! ```
 
-use hpc_nmf::engine::{AnlsEngine, LocalScheme};
 use hpc_nmf::prelude::*;
 use nmf_data::DatasetKind;
 use nmf_matrix::rng::Fill;
@@ -100,10 +99,10 @@ fn main() {
     );
     println!("OK: background/foreground separation recovered the moving object");
 
-    // --- Streaming refit via the step-wise engine ---
+    // --- Streaming refit via the session API ---
     // New frames arrive and the scene drifts slightly (lighting change);
-    // instead of re-solving from scratch, warm-start an AnlsEngine from
-    // the previous factors and step it under a windowed + wall-clock
+    // instead of re-solving from scratch, open a session warm-started
+    // from the previous factors and run it under a windowed + wall-clock
     // convergence policy, watching progress through the observer.
     let mut drifted = a.clone();
     let noise = Mat::uniform(m, n, 1234);
@@ -113,31 +112,27 @@ fn main() {
     let window2 = Input::Dense(drifted);
     let mut ht_prev = out.h.transpose();
     ht_prev.project_nonnegative();
-    let config =
-        NmfConfig::new(3)
-            .with_max_iters(25)
-            .with_convergence(ConvergencePolicy::WindowedBudget {
-                window: 3,
-                tol: 1e-5,
-                budget: Some(std::time::Duration::from_secs(2)),
-            });
-    let mut engine = AnlsEngine::new(
-        LocalScheme::new(m, n),
-        &window2,
-        &config,
-        out.w.clone(),
-        ht_prev,
-    );
-    let reason = engine.run_observed(|it, rec| {
+    let mut refit = Nmf::on(&window2)
+        .rank(3)
+        .max_iters(25)
+        .convergence(ConvergencePolicy::WindowedBudget {
+            window: 3,
+            tol: 1e-5,
+            budget: Some(std::time::Duration::from_secs(2)),
+        })
+        .warm_start(out.w.clone(), ht_prev)
+        .build()
+        .expect("a valid warm-started session");
+    let reason = refit.run_observed(|it, rec| {
         println!("  refit iteration {it}: objective {:.4e}", rec.objective);
     });
     println!(
         "streaming refit stopped after {} iterations ({})",
-        engine.iterations(),
+        refit.iterations(),
         reason.as_str()
     );
     assert!(
-        engine.iterations() < 25,
+        refit.iterations() < 25,
         "warm start should converge before the iteration cap"
     );
 }

@@ -16,6 +16,7 @@ use hpc_nmf::{init_ht, init_w};
 use nmf_matrix::rng::Fill;
 use nmf_matrix::Mat;
 use nmf_vmpi::universe;
+use std::path::PathBuf;
 
 const TOTAL: usize = 6;
 const BREAK_AT: usize = 3;
@@ -290,6 +291,227 @@ fn resume_preserves_early_stop_decisions() {
         total,
         "resumed run must stop at the same global iteration"
     );
+}
+
+/* ---------------- durability: the same property, through disk ----------------
+ *
+ * The engine-level tests above prove factors are complete checkpoints in
+ * memory; these prove the *file format* preserves that: save → load →
+ * continue is bit-identical to an uninterrupted run for all three
+ * communication schemes, and damaged files are rejected with specific
+ * errors instead of resuming garbage.
+ */
+
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hpc_nmf_ckpt_{}_{}.bin", tag, std::process::id()))
+}
+
+fn session(input: &Input, algo: Algo, p: usize, cfg: &NmfConfig) -> Model {
+    Nmf::on(input)
+        .config(*cfg)
+        .algo(algo)
+        .ranks(p)
+        .build()
+        .expect("valid session")
+}
+
+#[test]
+fn disk_checkpoint_resume_is_bit_identical_for_all_schemes() {
+    let input = test_input(34, 26, 21);
+    let cfg = config();
+    for (tag, algo, p) in [
+        ("seq", Algo::Sequential, 1),
+        ("naive", Algo::Naive, 3),
+        ("hpc2d", Algo::Hpc2D, 4),
+        ("hpcgrid", Algo::HpcGrid(Grid::new(3, 2)), 6),
+    ] {
+        // Uninterrupted run.
+        let mut full = session(&input, algo, p, &cfg);
+        for _ in 0..TOTAL {
+            full.step();
+        }
+        let (wf, hf) = full.factors();
+
+        // Interrupted run: save to disk, drop the whole session (its
+        // universe threads included), reload, continue.
+        let mut first = session(&input, algo, p, &cfg);
+        for _ in 0..BREAK_AT {
+            first.step();
+        }
+        let path = tmp_ckpt(tag);
+        first.save(&path).expect("checkpoint writes");
+        drop(first);
+
+        let mut resumed = Model::load(&path, &input).expect("checkpoint loads");
+        assert_eq!(
+            resumed.iterations(),
+            BREAK_AT,
+            "{tag}: resumed model must remember its iteration count"
+        );
+        for _ in 0..(TOTAL - BREAK_AT) {
+            resumed.step();
+        }
+        let (wr, hr) = resumed.factors();
+        assert_eq!(wf, wr, "{tag}: W diverged after a disk round-trip");
+        assert_eq!(hf, hr, "{tag}: H diverged after a disk round-trip");
+
+        let tail: Vec<f64> = full.records()[BREAK_AT..]
+            .iter()
+            .map(|r| r.objective)
+            .collect();
+        let rtail: Vec<f64> = resumed.records().iter().map(|r| r.objective).collect();
+        assert_eq!(tail, rtail, "{tag}: objective trajectory diverged");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn disk_resume_preserves_early_stop_decisions() {
+    // A RelTol run checkpointed mid-flight stops at the same global
+    // iteration with the same reason after a disk round-trip.
+    let input = test_input(30, 22, 17);
+    let cfg = NmfConfig::new(3)
+        .with_max_iters(100)
+        .with_tol(1e-7)
+        .with_seed(5);
+    let mut full = session(&input, Algo::Hpc2D, 4, &cfg);
+    let reason_full = full.run();
+    let total = full.iterations();
+    assert!(total < 100);
+
+    let mut first = session(&input, Algo::Hpc2D, 4, &cfg);
+    for _ in 0..total / 2 {
+        first.step();
+    }
+    let path = tmp_ckpt("earlystop");
+    first.save(&path).expect("checkpoint writes");
+    drop(first);
+    let mut resumed = Model::load(&path, &input).expect("checkpoint loads");
+    let reason_resumed = resumed.run();
+    assert_eq!(reason_resumed, reason_full);
+    assert_eq!(resumed.iterations(), total);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Writes `bytes` to a fresh temp file and returns the path.
+fn write_tmp(tag: &str, bytes: &[u8]) -> PathBuf {
+    let path = tmp_ckpt(tag);
+    std::fs::write(&path, bytes).expect("test file writes");
+    path
+}
+
+/// A valid checkpoint file's bytes, plus the input it belongs to.
+fn valid_checkpoint_bytes(tag: &str) -> (Vec<u8>, Input) {
+    let input = test_input(28, 20, 23);
+    let mut model = session(&input, Algo::Hpc2D, 4, &config());
+    model.step();
+    model.step();
+    let path = tmp_ckpt(tag);
+    model.save(&path).expect("checkpoint writes");
+    let bytes = std::fs::read(&path).expect("checkpoint reads");
+    std::fs::remove_file(&path).ok();
+    (bytes, input)
+}
+
+/// FNV-1a 64 (mirrors the checkpoint module's checksum for test-side
+/// re-stamping after deliberate edits).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn truncated_checkpoints_are_rejected() {
+    let (bytes, input) = valid_checkpoint_bytes("trunc_src");
+    for cut in [0, 7, 11, 30, bytes.len() / 2, bytes.len() - 1] {
+        let path = write_tmp("trunc", &bytes[..cut]);
+        let err = Model::load(&path, &input).expect_err("truncation must not load");
+        assert!(
+            matches!(err, NmfError::Corrupt { .. }),
+            "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_before_the_checksum() {
+    let (mut bytes, input) = valid_checkpoint_bytes("ver_src");
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let path = write_tmp("ver", &bytes);
+    let err = Model::load(&path, &input).expect_err("future version must not load");
+    assert!(
+        matches!(
+            err,
+            NmfError::UnsupportedVersion {
+                found: 99,
+                supported: 1,
+                ..
+            }
+        ),
+        "expected UnsupportedVersion, got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_byte_fails_the_checksum() {
+    let (mut bytes, input) = valid_checkpoint_bytes("flip_src");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    let path = write_tmp("flip", &bytes);
+    let err = Model::load(&path, &input).expect_err("corruption must not load");
+    assert!(matches!(err, NmfError::Corrupt { .. }), "got {err:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mismatched_input_shape_is_rejected() {
+    let (bytes, _input) = valid_checkpoint_bytes("shape_src");
+    let path = write_tmp("shape", &bytes);
+    // Same k, different m and n.
+    let other = test_input(30, 20, 9);
+    let err = Model::load(&path, &other).expect_err("wrong shape must not load");
+    assert!(
+        matches!(err, NmfError::CheckpointMismatch { .. }),
+        "got {err:?}"
+    );
+    let other_n = test_input(28, 22, 9);
+    let err = Model::load(&path, &other_n).expect_err("wrong n must not load");
+    assert!(
+        matches!(err, NmfError::CheckpointMismatch { .. }),
+        "got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn edited_k_fails_the_fingerprint_or_shape_check() {
+    // Bump the stored k inside the meta block and re-stamp the trailing
+    // checksum (simulating a deliberate header edit rather than random
+    // corruption). Layout: magic(8) version(4) meta_len(8), then meta =
+    // m(8) n(8) ranks(8) algo(4) pr(8) pc(8) k(8) at meta offset 44.
+    let (mut bytes, input) = valid_checkpoint_bytes("kedit_src");
+    let k_off = 8 + 4 + 8 + 44;
+    let old_k = u64::from_le_bytes(bytes[k_off..k_off + 8].try_into().unwrap());
+    bytes[k_off..k_off + 8].copy_from_slice(&(old_k + 1).to_le_bytes());
+    let body = bytes.len() - 8;
+    let sum = fnv1a(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    let path = write_tmp("kedit", &bytes);
+    let err = Model::load(&path, &input).expect_err("edited k must not load");
+    assert!(
+        matches!(
+            err,
+            NmfError::FingerprintMismatch { .. } | NmfError::CheckpointMismatch { .. }
+        ),
+        "got {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
