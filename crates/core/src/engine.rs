@@ -55,7 +55,7 @@ use crate::dist::{Dist1D, Part};
 use crate::grid::Grid;
 use crate::input::{Input, LocalMat};
 use crate::naive::RankNmfOutput;
-use crate::workspace::IterWorkspace;
+use crate::workspace::{IterWorkspace, SessionPack};
 use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_nls::NlsSolver;
@@ -69,22 +69,35 @@ use std::time::{Duration, Instant};
 /// (sequential), a single distributed block [`LocalMat`] (HPC-NMF), and
 /// the doubly-stored [`SplitBlocks`] of the naive algorithm.
 pub trait AnlsData {
-    /// Local `A·Hᵀ` with `Hᵀ` supplied row-major (`·×k`), into `out`.
-    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat);
-    /// Local `Aᵀ·W`, into `out` (stored transposed, `·×k`).
-    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat);
+    /// Packs this rank's dense data into microkernel-ready panels
+    /// ([`SessionPack`]) — called once at engine construction, so every
+    /// iteration's `MM` products skip left-operand packing entirely.
+    /// Sparse implementations clear the pack. Must also pre-size the
+    /// pack's tile scratch for `·×k` right operands so steady-state
+    /// iterations (including the first) allocate nothing.
+    fn pack_session(&self, pack: &mut SessionPack, k: usize);
+    /// Local `A·Hᵀ` with `Hᵀ` supplied row-major (`·×k`), into `out`,
+    /// reading the session-packed panels when present.
+    fn mm_a_ht_into(&self, pack: &mut SessionPack, ht: &Mat, out: &mut Mat);
+    /// Local `Aᵀ·W`, into `out` (stored transposed, `·×k`), reading the
+    /// session-packed transpose panels when present.
+    fn mm_at_w_into(&self, pack: &mut SessionPack, w: &Mat, out: &mut Mat);
     /// This rank's contribution to `‖A‖²_F`, each entry counted exactly
     /// once across all ranks.
     fn norm_sq_contrib(&self) -> f64;
 }
 
 impl AnlsData for &Input {
-    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
-        Input::mm_a_ht_into(self, ht, out);
+    fn pack_session(&self, pack: &mut SessionPack, k: usize) {
+        Input::pack_session(self, pack, k);
     }
 
-    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
-        Input::mm_at_w_into(self, w, out);
+    fn mm_a_ht_into(&self, pack: &mut SessionPack, ht: &Mat, out: &mut Mat) {
+        Input::mm_a_ht_packed_into(self, pack, ht, out);
+    }
+
+    fn mm_at_w_into(&self, pack: &mut SessionPack, w: &Mat, out: &mut Mat) {
+        Input::mm_at_w_packed_into(self, pack, w, out);
     }
 
     fn norm_sq_contrib(&self) -> f64 {
@@ -93,12 +106,18 @@ impl AnlsData for &Input {
 }
 
 impl AnlsData for &LocalMat {
-    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
-        LocalMat::mm_a_ht_into(self, ht, out);
+    fn pack_session(&self, pack: &mut SessionPack, k: usize) {
+        self.pack_a_into(&mut pack.a);
+        self.pack_at_into(&mut pack.at);
+        pack.reserve_scratch(k);
     }
 
-    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
-        LocalMat::mm_at_w_into(self, w, out);
+    fn mm_a_ht_into(&self, pack: &mut SessionPack, ht: &Mat, out: &mut Mat) {
+        LocalMat::mm_a_ht_packed_into(self, &pack.a, ht, out, &mut pack.bpack);
+    }
+
+    fn mm_at_w_into(&self, pack: &mut SessionPack, w: &Mat, out: &mut Mat) {
+        LocalMat::mm_at_w_packed_into(self, &pack.at, w, out, &mut pack.bpack);
     }
 
     fn norm_sq_contrib(&self) -> f64 {
@@ -115,12 +134,20 @@ pub struct SplitBlocks<'a> {
 }
 
 impl AnlsData for SplitBlocks<'_> {
-    fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
-        self.row_block.mm_a_ht_into(ht, out);
+    fn pack_session(&self, pack: &mut SessionPack, k: usize) {
+        self.row_block.pack_a_into(&mut pack.a);
+        self.col_block.pack_at_into(&mut pack.at);
+        pack.reserve_scratch(k);
     }
 
-    fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
-        self.col_block.mm_at_w_into(w, out);
+    fn mm_a_ht_into(&self, pack: &mut SessionPack, ht: &Mat, out: &mut Mat) {
+        self.row_block
+            .mm_a_ht_packed_into(&pack.a, ht, out, &mut pack.bpack);
+    }
+
+    fn mm_at_w_into(&self, pack: &mut SessionPack, w: &Mat, out: &mut Mat) {
+        self.col_block
+            .mm_at_w_packed_into(&pack.at, w, out, &mut pack.bpack);
     }
 
     fn norm_sq_contrib(&self) -> f64 {
@@ -635,6 +662,10 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
         mut ws: IterWorkspace,
     ) -> Self {
         scheme.size_workspace(&mut ws, config.k);
+        // Once-per-session operand packing: dense data is laid into
+        // microkernel panels here, and every iteration's MM below reads
+        // only packed storage (the ANLS win — A never changes).
+        data.pack_session(&mut ws.pack, config.k);
         let solver = config.solver.build();
         let norm_a_sq = scheme.reduce_scalar(data.norm_sq_contrib());
         scheme.prime(&mut ws, &ht0);
@@ -683,7 +714,7 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
                 FactorSource::Local => &self.ht_local,
                 FactorSource::Gathered => &ws.ht_gather,
             };
-            self.data.mm_a_ht_into(hmat, &mut ws.mm_w);
+            self.data.mm_a_ht_into(&mut ws.pack, hmat, &mut ws.mm_w);
         }
         tt.mm += t0.elapsed();
         let w_rhs = self.scheme.reduce_scatter_w(ws);
@@ -707,7 +738,7 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
                 FactorSource::Local => &self.w_local,
                 FactorSource::Gathered => &ws.w_gather,
             };
-            self.data.mm_at_w_into(wmat, &mut ws.mm_h);
+            self.data.mm_at_w_into(&mut ws.pack, wmat, &mut ws.mm_h);
         }
         tt.mm += t0.elapsed();
         let h_rhs = self.scheme.reduce_scatter_h(ws);

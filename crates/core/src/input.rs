@@ -5,7 +5,10 @@
 //! operations that touch the data matrix, exactly as in the paper
 //! ("the data matrix itself is never communicated").
 
-use nmf_matrix::{matmul, matmul_into, matmul_ta, matmul_ta_into, Mat};
+use crate::workspace::SessionPack;
+use nmf_matrix::{
+    matmul, matmul_into, matmul_packed_scratch_into, matmul_ta, matmul_ta_into, Mat, PackedPanels,
+};
 use nmf_sparse::{spmm_at_dense, spmm_at_dense_into, spmm_dense_t, spmm_dense_t_into, Csr};
 
 /// A whole input matrix (held by the test/benchmark harness; in a real
@@ -93,6 +96,41 @@ impl Input {
             Input::Sparse(a) => spmm_at_dense_into(a, w, out),
         }
     }
+
+    /// Builds the once-per-session [`SessionPack`]: dense inputs pack
+    /// both operand forms (`A` and `Aᵀ`) into microkernel panels and
+    /// pre-size the tile scratch for `·×k` right operands; sparse inputs
+    /// clear the pack (their `MM` kernels read the CSR directly).
+    pub fn pack_session(&self, pack: &mut SessionPack, k: usize) {
+        match self {
+            Input::Dense(a) => {
+                pack.a.pack_into(a);
+                pack.at.pack_transposed_into(a);
+            }
+            Input::Sparse(_) => pack.clear(),
+        }
+        pack.reserve_scratch(k);
+    }
+
+    /// [`mm_a_ht_into`](Input::mm_a_ht_into) reading the session-packed
+    /// `A` panels when present (falls back to pack-per-call if not).
+    pub fn mm_a_ht_packed_into(&self, pack: &mut SessionPack, ht: &Mat, out: &mut Mat) {
+        match self {
+            Input::Dense(a) if pack.a.is_empty() => matmul_into(a, ht, out),
+            Input::Dense(_) => matmul_packed_scratch_into(&pack.a, ht, out, &mut pack.bpack),
+            Input::Sparse(a) => spmm_dense_t_into(a, ht, out),
+        }
+    }
+
+    /// [`mm_at_w_into`](Input::mm_at_w_into) reading the session-packed
+    /// `Aᵀ` panels when present (falls back to pack-per-call if not).
+    pub fn mm_at_w_packed_into(&self, pack: &mut SessionPack, w: &Mat, out: &mut Mat) {
+        match self {
+            Input::Dense(a) if pack.at.is_empty() => matmul_ta_into(a, w, out),
+            Input::Dense(_) => matmul_packed_scratch_into(&pack.at, w, out, &mut pack.bpack),
+            Input::Sparse(a) => spmm_at_dense_into(a, w, out),
+        }
+    }
 }
 
 /// One rank's block of the input matrix.
@@ -159,6 +197,56 @@ impl LocalMat {
     pub fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
         match self {
             LocalMat::Dense(a) => matmul_ta_into(a, w, out),
+            LocalMat::Sparse(a) => spmm_at_dense_into(a, w, out),
+        }
+    }
+
+    /// Packs this block into left-operand panels for `A_loc·Hᵀ` (dense;
+    /// sparse blocks clear `p` — the CSR kernels need no packing).
+    pub fn pack_a_into(&self, p: &mut PackedPanels) {
+        match self {
+            LocalMat::Dense(a) => p.pack_into(a),
+            LocalMat::Sparse(_) => p.clear(),
+        }
+    }
+
+    /// Packs this block's transpose into left-operand panels for
+    /// `A_locᵀ·W` (dense; sparse blocks clear `p`).
+    pub fn pack_at_into(&self, p: &mut PackedPanels) {
+        match self {
+            LocalMat::Dense(a) => p.pack_transposed_into(a),
+            LocalMat::Sparse(_) => p.clear(),
+        }
+    }
+
+    /// [`mm_a_ht_into`](LocalMat::mm_a_ht_into) reading session-packed
+    /// panels when present (falls back to pack-per-call if not).
+    pub fn mm_a_ht_packed_into(
+        &self,
+        p: &PackedPanels,
+        ht: &Mat,
+        out: &mut Mat,
+        scratch: &mut Vec<f64>,
+    ) {
+        match self {
+            LocalMat::Dense(a) if p.is_empty() => matmul_into(a, ht, out),
+            LocalMat::Dense(_) => matmul_packed_scratch_into(p, ht, out, scratch),
+            LocalMat::Sparse(a) => spmm_dense_t_into(a, ht, out),
+        }
+    }
+
+    /// [`mm_at_w_into`](LocalMat::mm_at_w_into) reading session-packed
+    /// transpose panels when present (falls back to pack-per-call if not).
+    pub fn mm_at_w_packed_into(
+        &self,
+        p: &PackedPanels,
+        w: &Mat,
+        out: &mut Mat,
+        scratch: &mut Vec<f64>,
+    ) {
+        match self {
+            LocalMat::Dense(a) if p.is_empty() => matmul_ta_into(a, w, out),
+            LocalMat::Dense(_) => matmul_packed_scratch_into(p, w, out, scratch),
             LocalMat::Sparse(a) => spmm_at_dense_into(a, w, out),
         }
     }

@@ -14,7 +14,60 @@
 //! One struct serves all three drivers; each constructor sizes exactly
 //! the buffers its driver touches and leaves the rest `0×0`.
 
-use nmf_matrix::Mat;
+use nmf_matrix::{Mat, PackedPanels};
+
+/// The once-per-session packed form of this rank's data matrix, plus the
+/// `B`-tile scratch the packed GEMM repacks per call.
+///
+/// ANLS structure: the data matrix `A` never changes across iterations,
+/// so its microkernel panels (`a`, feeding `A·Hᵀ`) and its transpose's
+/// (`at`, feeding `Aᵀ·W`) are built **once** at engine construction by
+/// [`AnlsData::pack_session`](crate::engine::AnlsData::pack_session) and
+/// every iteration's `MM` reads only packed panels. Sparse inputs leave
+/// both panel sets empty (their `MM` kernels walk the CSR directly).
+///
+/// `bpack` is the right-operand tile scratch, pre-sized by
+/// [`reserve_scratch`](SessionPack::reserve_scratch) to the largest
+/// `KC`-deep block either product needs, so even the *first* iteration's
+/// packed GEMMs allocate nothing — the counting-allocator tests assert
+/// iteration-count-independent totals with no warmup.
+#[derive(Clone, Debug, Default)]
+pub struct SessionPack {
+    /// Panels of the local `A` block (left operand of `A·Hᵀ`).
+    pub a: PackedPanels,
+    /// Panels of the local `Aᵀ` (left operand of `Aᵀ·W`), packed from
+    /// `A`'s rows without materializing the transpose.
+    pub at: PackedPanels,
+    /// Per-call `B`-tile scratch shared by both packed products.
+    pub bpack: Vec<f64>,
+}
+
+impl SessionPack {
+    /// Whether no operand is packed (sparse input, or never primed).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty() && self.at.is_empty()
+    }
+
+    /// Drop any packed operands (retains allocations for reuse).
+    pub fn clear(&mut self) {
+        self.a.clear();
+        self.at.clear();
+    }
+
+    /// Grow `bpack` to the bound both packed products need for a `·×k`
+    /// right operand; afterwards steady-state GEMMs never resize it.
+    pub fn reserve_scratch(&mut self, k: usize) {
+        let need = self.a.b_scratch_len(k).max(self.at.b_scratch_len(k));
+        if self.bpack.len() < need {
+            self.bpack.resize(need, 0.0);
+        }
+    }
+
+    /// Bytes of packed panel storage currently held (both operands).
+    pub fn packed_bytes(&self) -> usize {
+        self.a.packed_bytes() + self.at.packed_bytes()
+    }
+}
 
 /// Owned storage for every per-iteration matrix of an NMF driver.
 ///
@@ -32,6 +85,13 @@ use nmf_matrix::Mat;
 /// | `mm_h`       | `AᵀW`               | `(Aʲ)ᵀW`            | `Yᵢⱼ = (Wᵢᵀ Aᵢⱼ)ᵀ`   |
 /// | `aht`        | —                   | —                   | `((AHᵀ)ᵢ)ⱼ` (rs out)  |
 /// | `wta`        | —                   | —                   | `((WᵀA)ⱼ)ᵢ` (rs out)  |
+///
+/// `pack` is not a per-iteration buffer but the once-per-session
+/// [`SessionPack`]ed form of the data matrix; it lives here so the
+/// warm-restart path
+/// ([`AnlsEngine::with_workspace`](crate::engine::AnlsEngine::with_workspace)
+/// → `take_workspace`) carries the packed panels' storage across
+/// engines too.
 #[derive(Clone, Debug, Default)]
 pub struct IterWorkspace {
     pub gram_w: Mat,
@@ -43,6 +103,7 @@ pub struct IterWorkspace {
     pub mm_h: Mat,
     pub aht: Mat,
     pub wta: Mat,
+    pub pack: SessionPack,
 }
 
 impl IterWorkspace {

@@ -1,0 +1,82 @@
+//! Quick wall-clock probe of the GEMM kernel paths (the Criterion suite
+//! in `crates/bench` is the rigorous harness; this is a fast smoke
+//! check: `cargo run --release -p nmf_matrix --example gemm_timing`).
+
+use nmf_matrix::rng::Fill;
+use nmf_matrix::{
+    matmul_blocked_into, matmul_ikj_into, matmul_into, matmul_packed_into, matmul_ta_blocked_into,
+    matmul_ta_into, Mat, PackedPanels,
+};
+use std::time::Instant;
+
+fn time_ns(mut f: impl FnMut(), iters: u32) -> f64 {
+    // One warmup round, then the median of five timed rounds.
+    f();
+    let mut rounds = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        rounds.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    rounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rounds[2]
+}
+
+fn main() {
+    println!("active kernel: {}", nmf_matrix::simd::active_name());
+    for (m, kdim, n, iters) in [
+        (512usize, 512usize, 32usize, 40u32),
+        (512, 512, 64, 20),
+        (2048, 64, 16, 40),
+        (4096, 32, 96, 20),
+    ] {
+        let a = Mat::uniform(m, kdim, 1);
+        let b = Mat::uniform(kdim, n, 2);
+        let mut c = Mat::zeros(m, n);
+        let flops = 2.0 * m as f64 * kdim as f64 * n as f64;
+
+        let ikj = time_ns(|| matmul_ikj_into(&a, &b, &mut c), iters);
+        let blocked = time_ns(|| matmul_blocked_into(&a, &b, &mut c), iters);
+        let simd = time_ns(|| matmul_into(&a, &b, &mut c), iters);
+        let p = PackedPanels::pack(&a);
+        let packed = time_ns(|| matmul_packed_into(&p, &b, &mut c), iters);
+
+        println!("\n{m}x{kdim} * {kdim}x{n}  ({:.1} Mflop)", flops / 1e6);
+        for (name, ns) in [
+            ("ikj (seed)", ikj),
+            ("blocked (scalar)", blocked),
+            ("simd (pack-per-call)", simd),
+            ("simd (prepacked A)", packed),
+        ] {
+            println!(
+                "  {name:22} {:>12.0} ns  {:>6.2} GFLOP/s  {:>5.2}x vs blocked",
+                ns,
+                flops / ns,
+                blocked / ns
+            );
+        }
+
+        // Transposed-left form at the same shape family: C = Aᵀ·B.
+        let at = Mat::uniform(kdim, m, 3);
+        let bt = Mat::uniform(kdim, n, 4);
+        let mut ct = Mat::zeros(m, n);
+        let ta_blocked = time_ns(|| matmul_ta_blocked_into(&at, &bt, &mut ct), iters);
+        let ta_simd = time_ns(|| matmul_ta_into(&at, &bt, &mut ct), iters);
+        let pt = PackedPanels::pack_transposed(&at);
+        let ta_packed = time_ns(|| matmul_packed_into(&pt, &bt, &mut ct), iters);
+        for (name, ns) in [
+            ("ta blocked (scalar)", ta_blocked),
+            ("ta simd (pack/call)", ta_simd),
+            ("ta simd (prepacked)", ta_packed),
+        ] {
+            println!(
+                "  {name:22} {:>12.0} ns  {:>6.2} GFLOP/s  {:>5.2}x vs ta-blocked",
+                ns,
+                flops / ns,
+                ta_blocked / ns
+            );
+        }
+    }
+}

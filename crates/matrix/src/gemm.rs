@@ -1,4 +1,4 @@
-//! Blocked matrix-multiply kernels.
+//! Dense matrix-multiply kernels: packed SIMD GEMM with runtime dispatch.
 //!
 //! Three transpose combinations cover everything the NMF algorithms need:
 //!
@@ -9,52 +9,73 @@
 //!
 //! # Performance notes
 //!
-//! All three kernels are cache-blocked and register-blocked for the
-//! regime the paper targets (`k ≤ ~100`, `m`/`n` large — tall-skinny
-//! operands and tiny-square Grams):
+//! The primary entry points ([`matmul_into`], [`matmul_ta_into`],
+//! [`matmul_par_into`], [`matmul_packed_into`]) all run the full
+//! GotoBLAS decomposition (Goto & van de Geijn, *Anatomy of
+//! High-Performance Matrix Multiplication*):
 //!
-//! * **`matmul_into`** tiles the inner (reduction) dimension in `KC`-row
-//!   panels of `B` so the panel streamed by the microkernel stays in L1/L2,
-//!   and runs an `MR×NR = 4×8` register microkernel: four rows of `C`
-//!   accumulate in registers across the whole panel, so each element of
-//!   `B` fetched from cache is reused `MR` times and each `C` row is
-//!   written once per panel instead of once per inner-loop step. This is
-//!   the standard GotoBLAS decomposition minus operand packing (row-major
-//!   layout already makes the `B` panel and `C` tiles contiguous; the
-//!   four strided `A` reads per step share cache lines across eight
-//!   consecutive steps).
-//! * **`matmul_ta_into`** processes four sample rows per sweep: each row
-//!   of `C` is loaded and stored once per *four* rank-1 updates rather
-//!   than once per update, quartering the dominant `C` traffic of the
-//!   rank-1 accumulation form.
-//! * **`matmul_tb_into`** computes four output columns per pass over a
-//!   row of `A`, so the streamed `A` row is reused fourfold, with the
-//!   4-way-unrolled [`dot`] as the single-column tail.
+//! 1. **Packing** ([`pack`](crate::pack)): the left operand is packed
+//!    into `MR×KC` depth-major panels, the right operand into `KC×NR`
+//!    tiles, so the microkernel's inner step is two contiguous loads
+//!    with zero-padded edges (no strides, no remainder branches).
+//! 2. **Microkernel** ([`simd`]): an `MR×NR` register
+//!    block of `C` accumulates across a whole `KC`-deep panel. On
+//!    AVX2+FMA hosts this is a 6×8 intrinsics kernel (twelve `ymm`
+//!    accumulators saturating both FMA ports); elsewhere a portable 4×8
+//!    scalar kernel that LLVM autovectorizes. The choice is made once
+//!    per process (`is_x86_feature_detected!`, cached in a `OnceLock`)
+//!    and can be pinned to the fallback with `NMF_FORCE_SCALAR=1`.
+//! 3. **Amortized packing**: `B` tiles are packed per call into
+//!    thread-local scratch that grows once and is reused; the left
+//!    operand can be packed **once per session** into a
+//!    [`PackedPanels`] and passed to [`matmul_packed_into`] — the ANLS
+//!    win from the paper: the data matrix never changes across
+//!    iterations, so `crates/core` packs it (and its transpose) at
+//!    engine construction and every iteration reads only packed panels.
 //!
-//! The seed implementation's plain `ikj` loop is retained as
-//! [`matmul_ikj_into`] — it is the baseline the Criterion suite
-//! (`benches/kernels.rs`) compares the blocked kernel against.
+//! `C = Aᵀ·B` needs no transpose materialization:
+//! [`PackedPanels::pack_transposed`] emits the same panel format while
+//! reading `A` row-by-row in `MR`-wide contiguous chunks.
+//!
+//! Two scalar baselines are retained for benchmarking and as reference
+//! implementations: [`matmul_blocked_into`] (the pre-SIMD cache-blocked
+//! 4×8 kernel — the comparison point for the `gemm_simd` Criterion
+//! group) and the seed's plain `ikj` loop ([`matmul_ikj_into`], which
+//! keeps its skip of explicit zeros — it doubles as the sparse-aware
+//! baseline).
 //!
 //! `*_into` variants write into caller-owned storage so per-iteration
 //! workspaces can be reused; the allocating wrappers exist for
 //! convenience at call sites that are not on a hot path.
 //!
 //! [`matmul_par`] provides a rayon row-parallel GEMM for *standalone*
-//! (sequential-baseline) use. The distributed ranks deliberately use the
+//! (sequential-baseline) use: each worker packs and multiplies its own
+//! contiguous stripe of `C`. The distributed ranks deliberately use the
 //! serial kernels: each virtual-MPI rank is already an OS thread, and
 //! nesting rayon inside them would oversubscribe the machine.
 
 use crate::mat::Mat;
+use crate::pack::{pack_b_block, PackedPanels, KC, NR};
+use crate::simd;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Rows of `C` accumulated in registers by the microkernel.
-const MR: usize = 4;
-/// Columns of `C` accumulated in registers by the microkernel.
-const NR: usize = 8;
-/// Inner-dimension panel depth: a `KC×NR` panel of `B` (16 KiB) fits L1
-/// comfortably, and a full `KC`-deep stripe of `B` across typical `n`
-/// stays within L2.
-const KC: usize = 256;
+/// Rows of `C` accumulated in registers by the retained scalar-blocked
+/// baseline kernel ([`matmul_blocked_into`]).
+const MR_BLOCKED: usize = 4;
+
+thread_local! {
+    /// Per-thread packing scratch: grows to the largest operands seen,
+    /// then every subsequent GEMM on this thread packs into the same
+    /// storage — steady-state iterations allocate nothing.
+    static SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
+}
+
+#[derive(Default)]
+struct GemmScratch {
+    apack: PackedPanels,
+    bpack: Vec<f64>,
+}
 
 /// `C = A·B`, allocating the output.
 ///
@@ -66,9 +87,143 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
     c
 }
 
-/// `C = A·B` into caller-owned `c` (overwritten). Cache-blocked with a
-/// `4×8` register microkernel; see the module docs.
+/// `C = A·B` into caller-owned `c` (overwritten). Packs both operands
+/// and runs the dispatched SIMD microkernel; see the module docs.
 pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
+    assert_eq!(
+        c.shape(),
+        (a.nrows(), b.ncols()),
+        "matmul output shape mismatch"
+    );
+    c.as_mut_slice().fill(0.0);
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        scratch.apack.pack_into(a);
+        gemm_packed(
+            &scratch.apack,
+            b.as_slice(),
+            b.ncols(),
+            c.as_mut_slice(),
+            &mut scratch.bpack,
+        );
+    });
+}
+
+/// `C = P·B` where `P` is a pre-packed left operand (see
+/// [`PackedPanels`]): the steady-state entry point — no repacking of
+/// `P`, only the (cheap, `kdim×n`) `B` tiles are packed per call.
+///
+/// # Panics
+/// Panics on shape mismatch, or if `p` was packed under a different
+/// kernel dispatch than the currently active one (impossible within one
+/// process — dispatch is cached — but guarded for clarity).
+pub fn matmul_packed_into(p: &PackedPanels, b: &Mat, c: &mut Mat) {
+    SCRATCH.with(|s| {
+        matmul_packed_scratch_into(p, b, c, &mut s.borrow_mut().bpack);
+    });
+}
+
+/// [`matmul_packed_into`] with caller-owned `B`-tile scratch instead of
+/// the thread-local buffer. Hot-loop callers that must not touch any
+/// hidden allocation (the engine's counting-allocator invariant) hold
+/// the scratch in their workspace, pre-sized via
+/// [`PackedPanels::b_scratch_len`], so steady-state calls allocate
+/// nothing — including on the very first iteration.
+///
+/// # Panics
+/// Same contract as [`matmul_packed_into`].
+pub fn matmul_packed_scratch_into(p: &PackedPanels, b: &Mat, c: &mut Mat, bpack: &mut Vec<f64>) {
+    let (m, kdim) = p.shape();
+    assert_eq!(kdim, b.nrows(), "matmul_packed inner dimension mismatch");
+    assert_eq!(
+        c.shape(),
+        (m, b.ncols()),
+        "matmul_packed output shape mismatch"
+    );
+    assert_eq!(
+        p.mr(),
+        simd::active().mr,
+        "packed panels built for a different microkernel geometry"
+    );
+    c.as_mut_slice().fill(0.0);
+    gemm_packed(p, b.as_slice(), b.ncols(), c.as_mut_slice(), bpack);
+}
+
+/// The packed GEMM driver: `c += P·b` where `P` is the packed `m×kdim`
+/// left operand, `b` is `kdim×n` row-major, `c` is `m×n` (leading
+/// dimension `n`, pre-initialized). For each `KC`-deep block, packs the
+/// corresponding `B` rows into `KC×NR` tiles in `bpack`, then sweeps
+/// `MR`-row panels × `NR`-column tiles through the dispatched
+/// microkernel. Accumulators live in registers for the whole block;
+/// edge tiles are handled by the kernels' clipped store phase (the
+/// packed zero-padding makes the extra multiply-adds exact `+0.0`s).
+fn gemm_packed(p: &PackedPanels, b: &[f64], n: usize, c: &mut [f64], bpack: &mut Vec<f64>) {
+    let (m, kdim) = p.shape();
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    let cfg = simd::active();
+    let mr = p.mr();
+    debug_assert_eq!(mr, cfg.mr);
+    let ntiles = n.div_ceil(NR);
+    let mut k0 = 0;
+    while k0 < kdim {
+        let kc = KC.min(kdim - k0);
+        pack_b_block(b, n, k0, kc, bpack);
+        let mut i0 = 0;
+        while i0 < m {
+            let mr_eff = mr.min(m - i0);
+            let pa = p.panel(k0, kc, i0);
+            for jt in 0..ntiles {
+                let j0 = jt * NR;
+                let nr_eff = NR.min(n - j0);
+                let pbt = &bpack[jt * NR * kc..(jt + 1) * NR * kc];
+                match cfg.path {
+                    #[cfg(target_arch = "x86_64")]
+                    simd::KernelPath::Avx2Fma => {
+                        // SAFETY: the Avx2Fma path is only selected after
+                        // `is_x86_feature_detected!("avx2")`/`("fma")`
+                        // succeed; `pa` is a full `mr*kc` panel, `pbt` a
+                        // full `NR*kc` tile, and the `c` tile starting at
+                        // `i0*n + j0` is valid for `mr_eff` rows of
+                        // `nr_eff` elements at row stride `n`.
+                        unsafe {
+                            simd::kernel_6x8_avx2(
+                                pa.as_ptr(),
+                                pbt.as_ptr(),
+                                kc,
+                                c.as_mut_ptr().add(i0 * n + j0),
+                                n,
+                                mr_eff,
+                                nr_eff,
+                            );
+                        }
+                    }
+                    _ => simd::kernel_4x8_scalar(
+                        pa,
+                        pbt,
+                        kc,
+                        &mut c[i0 * n + j0..],
+                        n,
+                        mr_eff,
+                        nr_eff,
+                    ),
+                }
+            }
+            i0 += mr;
+        }
+        k0 += kc;
+    }
+}
+
+/// `C = A·B` with the retained pre-SIMD cache-blocked kernel (`4×8`
+/// register microkernel over unpacked row-major operands). This is the
+/// baseline the `gemm_simd` Criterion group measures the packed SIMD
+/// path against; production call sites use [`matmul_into`].
+pub fn matmul_blocked_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
     assert_eq!(
         c.shape(),
@@ -86,10 +241,9 @@ pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
     );
 }
 
-/// The blocked kernel on raw row-major slices: `c += a·b` where `a` is
-/// `m×kdim`, `b` is `kdim×n`, `c` is `m×n` (all dense, leading dimension
-/// equal to the column count). `c` must be pre-initialized (callers zero
-/// or accumulate). Shared by the serial and row-parallel entry points.
+/// The scalar blocked kernel on raw row-major slices: `c += a·b` where
+/// `a` is `m×kdim`, `b` is `kdim×n`, `c` is `m×n` (all dense, leading
+/// dimension equal to the column count). `c` must be pre-initialized.
 fn gemm_slices(a: &[f64], b: &[f64], c: &mut [f64], m: usize, kdim: usize, n: usize) {
     debug_assert_eq!(a.len(), m * kdim);
     debug_assert_eq!(b.len(), kdim * n);
@@ -99,24 +253,24 @@ fn gemm_slices(a: &[f64], b: &[f64], c: &mut [f64], m: usize, kdim: usize, n: us
         let kend = (k0 + KC).min(kdim);
         let mut i0 = 0;
         while i0 < m {
-            let mr = MR.min(m - i0);
+            let mr = MR_BLOCKED.min(m - i0);
             let mut j0 = 0;
             while j0 < n {
                 let nr = NR.min(n - j0);
-                if mr == MR && nr == NR {
+                if mr == MR_BLOCKED && nr == NR {
                     kernel_4x8(a, b, c, kdim, n, i0, j0, k0, kend);
                 } else {
                     kernel_edge(a, b, c, kdim, n, i0, j0, k0, kend, mr, nr);
                 }
                 j0 += NR;
             }
-            i0 += MR;
+            i0 += MR_BLOCKED;
         }
         k0 = kend;
     }
 }
 
-/// The `4×8` register microkernel:
+/// The scalar `4×8` register microkernel over unpacked operands:
 /// `C[i0..i0+4, j0..j0+8] += A[i0..i0+4, k0..kend] · B[k0..kend, j0..j0+8]`.
 #[inline]
 #[allow(clippy::too_many_arguments)]
@@ -131,7 +285,7 @@ fn kernel_4x8(
     k0: usize,
     kend: usize,
 ) {
-    let mut acc = [[0.0f64; NR]; MR];
+    let mut acc = [[0.0f64; NR]; MR_BLOCKED];
     let a0 = &a[i0 * lda + k0..i0 * lda + kend];
     let a1 = &a[(i0 + 1) * lda + k0..(i0 + 1) * lda + kend];
     let a2 = &a[(i0 + 2) * lda + k0..(i0 + 2) * lda + kend];
@@ -161,6 +315,10 @@ fn kernel_4x8(
 
 /// Remainder tiles (fewer than `MR` rows or `NR` columns): a plain `ikj`
 /// loop over the tile, which the compiler still vectorizes along `j`.
+/// Unconditional accumulation — no skip of explicit zeros: the branch
+/// would defeat vectorization of the `j` loop and silently drop
+/// `-0.0`/NaN propagation (the sparse-aware skip lives only in the
+/// [`matmul_ikj_into`] baseline, where it is the point).
 #[allow(clippy::too_many_arguments)]
 fn kernel_edge(
     a: &[f64],
@@ -180,9 +338,6 @@ fn kernel_edge(
         let crow = &mut c[i * ldb + j0..i * ldb + j0 + nr];
         for kk in k0..kend {
             let aik = arow[kk];
-            if aik == 0.0 {
-                continue;
-            }
             let brow = &b[kk * ldb + j0..kk * ldb + j0 + nr];
             for t in 0..nr {
                 crow[t] += aik * brow[t];
@@ -200,6 +355,8 @@ pub fn matmul_ikj(a: &Mat, b: &Mat) -> Mat {
 }
 
 /// `C = A·B` with the unblocked `ikj` loop (baseline; see [`matmul_ikj`]).
+/// Skips explicit zeros in `A` — this baseline doubles as the
+/// sparse-aware reference, where the skip is the optimization.
 pub fn matmul_ikj_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.ncols(), b.nrows(), "matmul inner dimension mismatch");
     assert_eq!(
@@ -229,9 +386,34 @@ pub fn matmul_ta(a: &Mat, b: &Mat) -> Mat {
     c
 }
 
-/// `C = Aᵀ·B` into caller-owned `c` (overwritten). Four sample rows per
-/// sweep so each `C` row is touched once per four rank-1 updates.
+/// `C = Aᵀ·B` into caller-owned `c` (overwritten). Packs `Aᵀ` directly
+/// from `A`'s rows (no transpose materialization) and runs the same
+/// dispatched packed kernel as [`matmul_into`].
 pub fn matmul_ta_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    assert_eq!(a.nrows(), b.nrows(), "matmul_ta inner dimension mismatch");
+    assert_eq!(
+        c.shape(),
+        (a.ncols(), b.ncols()),
+        "matmul_ta output shape mismatch"
+    );
+    c.as_mut_slice().fill(0.0);
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        scratch.apack.pack_transposed_into(a);
+        gemm_packed(
+            &scratch.apack,
+            b.as_slice(),
+            b.ncols(),
+            c.as_mut_slice(),
+            &mut scratch.bpack,
+        );
+    });
+}
+
+/// `C = Aᵀ·B` with the retained scalar rank-1 sweep (four sample rows
+/// per pass). Benchmark baseline for the packed transposed path; see
+/// [`matmul_ta_into`] for the production kernel.
+pub fn matmul_ta_blocked_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.nrows(), b.nrows(), "matmul_ta inner dimension mismatch");
     assert_eq!(
         c.shape(),
@@ -243,7 +425,7 @@ pub fn matmul_ta_into(a: &Mat, b: &Mat, c: &mut Mat) {
     let k = a.ncols();
     let n = b.ncols();
     let cm = c.as_mut_slice();
-    let m4 = m - m % MR;
+    let m4 = m - m % 4;
     let mut r = 0;
     while r < m4 {
         let a0 = a.row(r);
@@ -264,7 +446,7 @@ pub fn matmul_ta_into(a: &Mat, b: &Mat, c: &mut Mat) {
                 crow[t] += x0 * b0[t] + x1 * b1[t] + x2 * b2[t] + x3 * b3[t];
             }
         }
-        r += MR;
+        r += 4;
     }
     // Remainder samples: plain rank-1 accumulation.
     for rr in m4..m {
@@ -291,8 +473,8 @@ pub fn matmul_tb(a: &Mat, b: &Mat) -> Mat {
 /// `C = A·Bᵀ` into caller-owned `c` (overwritten).
 ///
 /// Each output entry is a dot product of two contiguous rows; four
-/// output columns are computed per pass so the `A` row streams once per
-/// four rows of `B`.
+/// output columns are computed per pass (via the dispatched [`dot4`])
+/// so the `A` row streams once per four rows of `B`.
 pub fn matmul_tb_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.ncols(), b.ncols(), "matmul_tb inner dimension mismatch");
     assert_eq!(
@@ -301,7 +483,7 @@ pub fn matmul_tb_into(a: &Mat, b: &Mat, c: &mut Mat) {
         "matmul_tb output shape mismatch"
     );
     let k = b.nrows();
-    let k4 = k - k % MR;
+    let k4 = k - k % 4;
     for i in 0..a.nrows() {
         let arow = a.row(i);
         let crow = c.row_mut(i);
@@ -312,7 +494,7 @@ pub fn matmul_tb_into(a: &Mat, b: &Mat, c: &mut Mat) {
             crow[j + 1] = s1;
             crow[j + 2] = s2;
             crow[j + 3] = s3;
-            j += MR;
+            j += 4;
         }
         for (jj, cv) in crow.iter_mut().enumerate().skip(k4) {
             *cv = dot(arow, b.row(jj));
@@ -321,8 +503,9 @@ pub fn matmul_tb_into(a: &Mat, b: &Mat, c: &mut Mat) {
 }
 
 /// Rayon row-parallel `C = A·B` for standalone use (see module docs).
-/// Same blocked kernel as [`matmul_into`], with the rows of `C` split
-/// into one contiguous stripe per worker thread.
+/// Same packed dispatched kernel as [`matmul_into`], with the rows of
+/// `C` split into one contiguous stripe per worker thread (each worker
+/// packs its own operand stripe into its thread-local scratch).
 pub fn matmul_par(a: &Mat, b: &Mat) -> Mat {
     let mut c = Mat::zeros(a.nrows(), b.ncols());
     matmul_par_into(a, b, &mut c);
@@ -344,7 +527,7 @@ pub fn matmul_par_into(a: &Mat, b: &Mat, c: &mut Mat) {
     if m == 0 || n == 0 {
         return; // empty output; chunking by stripe * n would be ill-formed
     }
-    let stripe = m.div_ceil(rayon::current_num_threads()).max(MR);
+    let stripe = m.div_ceil(rayon::current_num_threads()).max(MR_BLOCKED);
     let aslice = a.as_slice();
     let bslice = b.as_slice();
     c.as_mut_slice()
@@ -353,14 +536,13 @@ pub fn matmul_par_into(a: &Mat, b: &Mat, c: &mut Mat) {
         .for_each(|(ci, cchunk)| {
             let r0 = ci * stripe;
             let rows = cchunk.len() / n;
-            gemm_slices(
-                &aslice[r0 * kdim..(r0 + rows) * kdim],
-                bslice,
-                cchunk,
-                rows,
-                kdim,
-                n,
-            );
+            SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                scratch
+                    .apack
+                    .pack_slice_into(&aslice[r0 * kdim..(r0 + rows) * kdim], rows, kdim);
+                gemm_packed(&scratch.apack, bslice, n, cchunk, &mut scratch.bpack);
+            });
         });
 }
 
@@ -373,11 +555,21 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Dot product of two equal-length slices, with 4-way unrolling to expose
-/// independent FMA chains.
+/// Minimum slice length before the dispatched dot products reach for
+/// the AVX2 path; below this the call overhead dominates.
+const DOT_SIMD_MIN: usize = 32;
+
+/// Dot product of two equal-length slices. Dispatches to the AVX2+FMA
+/// reduction for long slices; otherwise 4-way unrolled scalar.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if x.len() >= DOT_SIMD_MIN && simd::active().path == simd::KernelPath::Avx2Fma {
+        // SAFETY: the Avx2Fma path implies the detector observed AVX2
+        // and FMA support on this CPU.
+        return unsafe { simd::dot_avx2(x, y) };
+    }
     let chunks = x.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
     for c in 0..chunks {
@@ -395,12 +587,19 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Four simultaneous dot products sharing the left operand: returns
-/// `(x·y0, x·y1, x·y2, x·y3)`. `x` streams through cache once.
+/// `(x·y0, x·y1, x·y2, x·y3)`. `x` streams through cache once; long
+/// slices dispatch to the AVX2+FMA quad reduction.
 #[inline]
 pub fn dot4(x: &[f64], y0: &[f64], y1: &[f64], y2: &[f64], y3: &[f64]) -> (f64, f64, f64, f64) {
     debug_assert!(
         x.len() == y0.len() && x.len() == y1.len() && x.len() == y2.len() && x.len() == y3.len()
     );
+    #[cfg(target_arch = "x86_64")]
+    if x.len() >= DOT_SIMD_MIN && simd::active().path == simd::KernelPath::Avx2Fma {
+        // SAFETY: the Avx2Fma path implies the detector observed AVX2
+        // and FMA support on this CPU.
+        return unsafe { simd::dot4_avx2(x, y0, y1, y2, y3) };
+    }
     let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
     for i in 0..x.len() {
         let xv = x[i];
@@ -440,26 +639,49 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matches_naive_across_edge_shapes() {
-        // Shapes chosen to exercise every remainder path of the blocked
-        // kernel: m % 4 and n % 8 in all combinations, inner dims
-        // straddling the KC panel boundary.
+    fn dispatched_matches_naive_across_edge_shapes() {
+        // Shapes chosen to exercise every remainder path of both MR
+        // geometries (4 and 6) and the NR/KC boundaries.
         for &(m, kk, n) in &[
             (1usize, 1usize, 1usize),
             (4, 8, 8),
             (5, 3, 9),
+            (6, 12, 16),
             (7, 300, 17),
             (8, 256, 8),
             (9, 257, 31),
             (12, 511, 33),
+            (13, 40, 7),
             (64, 513, 40),
         ] {
             let a = Mat::uniform(m, kk, (m * 1000 + n) as u64);
             let b = Mat::uniform(kk, n, (n * 1000 + kk) as u64);
+            let expect = naive_matmul(&a, &b);
             let c = matmul(&a, &b);
             assert!(
-                c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-10,
+                c.max_abs_diff(&expect) < 1e-10,
+                "dispatched GEMM wrong at {m}x{kk}x{n}"
+            );
+            let mut cb = Mat::zeros(m, n);
+            matmul_blocked_into(&a, &b, &mut cb);
+            assert!(
+                cb.max_abs_diff(&expect) < 1e-10,
                 "blocked GEMM wrong at {m}x{kk}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_dispatched() {
+        for &(m, kk, n) in &[(5usize, 3usize, 9usize), (48, 300, 17), (64, 257, 40)] {
+            let a = Mat::uniform(m, kk, 77);
+            let b = Mat::uniform(kk, n, 78);
+            let p = PackedPanels::pack(&a);
+            let mut c = Mat::zeros(m, n);
+            matmul_packed_into(&p, &b, &mut c);
+            assert!(
+                c.max_abs_diff(&matmul(&a, &b)) < 1e-12,
+                "prepacked GEMM wrong at {m}x{kk}x{n}"
             );
         }
     }
@@ -477,6 +699,7 @@ mod tests {
             (23usize, 7usize, 11usize),
             (24, 8, 8),
             (25, 9, 13),
+            (300, 6, 10),
             (3, 2, 2),
         ] {
             let a = Mat::uniform(m, k, 1);
@@ -486,6 +709,19 @@ mod tests {
             assert!(
                 c.max_abs_diff(&expect) < 1e-12,
                 "matmul_ta wrong at {m}x{k}x{n}"
+            );
+            let mut cb = Mat::zeros(k, n);
+            matmul_ta_blocked_into(&a, &b, &mut cb);
+            assert!(
+                cb.max_abs_diff(&expect) < 1e-12,
+                "matmul_ta baseline wrong at {m}x{k}x{n}"
+            );
+            let p = PackedPanels::pack_transposed(&a);
+            let mut cp = Mat::zeros(k, n);
+            matmul_packed_into(&p, &b, &mut cp);
+            assert!(
+                cp.max_abs_diff(&expect) < 1e-12,
+                "prepacked matmul_ta wrong at {m}x{k}x{n}"
             );
         }
     }
@@ -563,11 +799,31 @@ mod tests {
 
     #[test]
     fn dot4_matches_four_dots() {
-        let x = Mat::uniform(1, 37, 11);
-        let ys = Mat::uniform(4, 37, 12);
-        let (s0, s1, s2, s3) = dot4(x.row(0), ys.row(0), ys.row(1), ys.row(2), ys.row(3));
-        for (got, j) in [(s0, 0), (s1, 1), (s2, 2), (s3, 3)] {
-            assert!((got - dot(x.row(0), ys.row(j))).abs() < 1e-12);
+        for len in [5usize, 37, 64, 130] {
+            let x = Mat::uniform(1, len, 11);
+            let ys = Mat::uniform(4, len, 12);
+            let (s0, s1, s2, s3) = dot4(x.row(0), ys.row(0), ys.row(1), ys.row(2), ys.row(3));
+            for (got, j) in [(s0, 0), (s1, 1), (s2, 2), (s3, 3)] {
+                assert!((got - dot(x.row(0), ys.row(j))).abs() < 1e-10);
+            }
         }
+    }
+
+    #[test]
+    fn negative_zero_and_nan_propagate_through_edge_tiles() {
+        // The edge kernel must not skip explicit zeros: a NaN in B must
+        // poison the product even when the matching A entry is 0.0.
+        let mut a = Mat::zeros(3, 2); // 3 rows → edge tile under both MRs
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        let mut b = Mat::zeros(2, 3); // 3 cols → NR edge tile
+        b[(0, 0)] = f64::NAN;
+        b[(1, 1)] = 2.0;
+        let mut c = Mat::zeros(3, 3);
+        matmul_blocked_into(&a, &b, &mut c);
+        assert!(c[(0, 0)].is_nan(), "0.0·NaN must propagate, not be skipped");
+        assert_eq!(c[(0, 1)], 2.0);
+        let c2 = matmul(&a, &b);
+        assert!(c2[(0, 0)].is_nan());
     }
 }

@@ -6,7 +6,7 @@
 //! of tall-skinny inputs; exploiting symmetry halves the flops relative to
 //! a general GEMM.
 
-use crate::gemm::dot;
+use crate::gemm::{dot, dot4};
 use crate::mat::Mat;
 
 /// `G = XᵀX` for an `m×k` matrix `X`; `G` is `k×k` symmetric.
@@ -73,14 +73,28 @@ pub fn outer_gram(x: &Mat) -> Mat {
 }
 
 /// `G = X·Xᵀ` into caller-owned `g` (overwritten).
+///
+/// Upper triangle only (then mirrored), four columns per pass: row `i`
+/// streams through cache once per *four* rows `j ≥ i` via the
+/// dispatched [`dot4`] instead of once per entry — the fix for the wide
+/// (`n ≫ k`) case where per-entry [`dot`] made `XXᵀ` ~1.9× slower than
+/// the equivalent `XᵀX`.
 pub fn outer_gram_into(x: &Mat, g: &mut Mat) {
     let k = x.nrows();
     assert_eq!(g.shape(), (k, k), "outer_gram output shape mismatch");
     for i in 0..k {
         let xi = x.row(i);
-        for j in i..k {
-            let v = dot(xi, x.row(j));
-            g[(i, j)] = v;
+        let mut j = i;
+        while j + 4 <= k {
+            let (s0, s1, s2, s3) = dot4(xi, x.row(j), x.row(j + 1), x.row(j + 2), x.row(j + 3));
+            g[(i, j)] = s0;
+            g[(i, j + 1)] = s1;
+            g[(i, j + 2)] = s2;
+            g[(i, j + 3)] = s3;
+            j += 4;
+        }
+        for jj in j..k {
+            g[(i, jj)] = dot(xi, x.row(jj));
         }
     }
     mirror_upper_to_lower(g);
@@ -110,9 +124,16 @@ mod tests {
 
     #[test]
     fn outer_gram_matches_gemm() {
-        let x = Mat::uniform(6, 41, 12);
-        let g = outer_gram(&x);
-        assert!(g.max_abs_diff(&matmul_tb(&x, &x)) < 1e-12);
+        // k values straddling the 4-wide dot4 blocking, including the
+        // wide (n ≫ k) regime the dot4 restructuring targets.
+        for (k, n) in [(6, 41), (4, 16), (9, 200), (1, 7), (3, 4096)] {
+            let x = Mat::uniform(k, n, 12 + k as u64);
+            let g = outer_gram(&x);
+            assert!(
+                g.max_abs_diff(&matmul_tb(&x, &x)) < 1e-9,
+                "outer_gram wrong at {k}x{n}"
+            );
+        }
     }
 
     #[test]

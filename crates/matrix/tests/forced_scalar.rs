@@ -1,0 +1,60 @@
+//! The `NMF_FORCE_SCALAR` escape hatch: pins kernel dispatch to the
+//! portable scalar microkernel regardless of host CPU features.
+//!
+//! Dispatch is decided once per process and cached, so this lives in its
+//! own integration-test binary (its process sets the variable before the
+//! first kernel call) and is a single test function (a sibling test
+//! could otherwise race the dispatch cache).
+
+use nmf_matrix::rng::Fill;
+use nmf_matrix::{matmul, matmul_packed_into, matmul_ta, simd, Mat, PackedPanels};
+
+#[test]
+fn forced_scalar_dispatch_is_pinned_and_correct() {
+    // Must precede any dispatch query in this process.
+    std::env::set_var("NMF_FORCE_SCALAR", "1");
+
+    assert_eq!(simd::active_name(), "scalar-4x8");
+    assert_eq!(simd::active().mr, 4);
+
+    // The scalar path must be fully correct, including packed panels
+    // built under the forced 4-row geometry.
+    let naive = |a: &Mat, b: &Mat| -> Mat {
+        let mut c = Mat::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut s = 0.0;
+                for kk in 0..a.ncols() {
+                    s += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    };
+
+    for &(m, kdim, n) in &[(7usize, 300usize, 9usize), (12, 257, 8), (4, 8, 8)] {
+        let a = Mat::uniform(m, kdim, 21);
+        let b = Mat::uniform(kdim, n, 22);
+        let expect = naive(&a, &b);
+        assert!(
+            matmul(&a, &b).max_abs_diff(&expect) < 1e-10,
+            "forced-scalar matmul wrong at {m}x{kdim}x{n}"
+        );
+        let p = PackedPanels::pack(&a);
+        assert_eq!(p.mr(), 4, "panels must adopt the forced geometry");
+        let mut c = Mat::zeros(m, n);
+        matmul_packed_into(&p, &b, &mut c);
+        assert!(
+            c.max_abs_diff(&expect) < 1e-10,
+            "forced-scalar prepacked matmul wrong at {m}x{kdim}x{n}"
+        );
+        let at = Mat::uniform(kdim, m, 23);
+        let bt = Mat::uniform(kdim, n, 24);
+        let expect_ta = naive(&at.transpose(), &bt);
+        assert!(
+            matmul_ta(&at, &bt).max_abs_diff(&expect_ta) < 1e-10,
+            "forced-scalar matmul_ta wrong at {m}x{kdim}x{n}"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! per sweep in practice.
 
 use crate::NlsSolver;
+use nmf_matrix::gemm::dot;
 use nmf_matrix::Mat;
 
 /// HALS solver (one block-coordinate sweep per call).
@@ -48,11 +49,8 @@ impl NlsSolver for Hals {
             for i in 0..r {
                 let xi = x.row_mut(i);
                 // residual = CtB[i,j] − ⟨x_i, G[:,j]⟩ + x_ij·G_jj
-                let mut dot = 0.0;
-                for (xv, gv) in xi.iter().zip(gj) {
-                    dot += xv * gv;
-                }
-                let v = (ctb[(i, j)] - dot + xi[j] * gjj) / gjj;
+                let xg = dot(xi, gj);
+                let v = (ctb[(i, j)] - xg + xi[j] * gjj) / gjj;
                 xi[j] = v.max(0.0);
             }
         }
