@@ -1,0 +1,77 @@
+//! Criterion benches of the split-phase Grid2D schedule: synchronous
+//! vs. overlapped per-iteration time at p = 16, dense and sparse — the
+//! microbench behind `BENCH_PR7.json` (see `docs/comm-overlap.md`).
+//!
+//! `NMF_BENCH_QUICK=1` shrinks the shapes and measurement windows so CI
+//! can smoke the group in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_nmf::prelude::*;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_sparse::gen::chung_lu_power_law;
+use std::time::Duration;
+
+const P: usize = 16;
+
+fn quick() -> bool {
+    std::env::var("NMF_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn tune(g: &mut criterion::BenchmarkGroup<'_>) {
+    if quick() {
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+    } else {
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+    }
+}
+
+fn config(k: usize, overlap: bool) -> NmfConfig {
+    NmfConfig::new(k)
+        .with_max_iters(2)
+        .with_solver(SolverKind::Hals)
+        .with_seed(41)
+        .with_overlap(overlap)
+}
+
+fn bench_dense_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_overlap_dense");
+    tune(&mut g);
+    let scale = if quick() { 4 } else { 1 };
+    let input = Input::Dense(Mat::uniform(2048 / scale, 2048 / scale, 17));
+    for overlap in [false, true] {
+        let id = if overlap { "overlap" } else { "sync" };
+        let cfg = config(32, overlap);
+        g.bench_with_input(BenchmarkId::new(id, P), &(), |b, ()| {
+            b.iter(|| factorize(&input, P, Algo::Hpc2D, &cfg).objective)
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_overlap_sparse");
+    tune(&mut g);
+    let scale = if quick() { 4 } else { 1 };
+    let input = Input::Sparse(chung_lu_power_law(
+        16384 / scale,
+        1_000_000 / (scale * scale),
+        2.1,
+        29,
+    ));
+    for overlap in [false, true] {
+        let id = if overlap { "overlap" } else { "sync" };
+        let cfg = config(32, overlap);
+        g.bench_with_input(BenchmarkId::new(id, P), &(), |b, ()| {
+            b.iter(|| factorize(&input, P, Algo::Hpc2D, &cfg).objective)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_overlap, bench_sparse_overlap);
+criterion_main!(benches);

@@ -1,0 +1,282 @@
+//! PR7 evidence run: synchronous vs. split-phase (overlapped) Grid2D
+//! schedules, measured as per-iteration wall time at p = 16 and p = 64
+//! on the shapes named in the issue — a dense 2048×2048 at k = 32 and a
+//! sparse webgraph-like matrix — plus small dense shapes whose
+//! iterations are dominated by collective latency rather than local
+//! flops (the communication-bound regime where the schedule change
+//! matters most; on an oversubscribed host the win is measured in
+//! scheduler wake chains avoided).
+//!
+//! Every (shape, p, mode) case runs in its own child process (the binary
+//! re-executes itself), so a millisecond-scale case is never measured in
+//! an address space polluted by a gigabyte-scale one. Writes
+//! `BENCH_PR7.json` (or the path in `BENCH_PR7_OUT`) with the per-case
+//! medians and the split-phase stats evidence (posts and the post→wait
+//! overlap window actually achieved). Iteration and repeat counts shrink
+//! under `NMF_BENCH_QUICK=1` so CI can smoke the run. `BENCH_PR7_ONLY`
+//! filters shapes by substring (a development aid).
+
+use hpc_nmf::dist::Dist1D;
+use hpc_nmf::engine::{AnlsEngine, Grid2D};
+use hpc_nmf::prelude::*;
+use hpc_nmf::{init_ht, init_w};
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_sparse::gen::chung_lu_power_law;
+use nmf_vmpi::{universe, CommStats};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// (name, k, iters per rep, timed reps). The communication-bound shapes
+/// run many more iterations per rep because each iteration is ~1–3 ms.
+const SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("dense-2048x2048-k32", 32, 8, 5),
+    ("sparse-webgraph-16k-1m-k32", 32, 8, 5),
+    ("dense-comm-bound-192x128-k16", 16, 60, 11),
+    ("dense-comm-bound-384x256-k32", 32, 60, 11),
+];
+
+fn quick() -> bool {
+    std::env::var("NMF_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Builds exactly one case's input (children construct nothing else).
+fn make_input(shape: &str) -> Input {
+    let scale = if quick() { 4 } else { 1 };
+    match shape {
+        "dense-2048x2048-k32" => Input::Dense(Mat::uniform(2048 / scale, 2048 / scale, 17)),
+        "sparse-webgraph-16k-1m-k32" => Input::Sparse(chung_lu_power_law(
+            16384 / scale,
+            1_000_000 / (scale * scale),
+            2.1,
+            29,
+        )),
+        "dense-comm-bound-192x128-k16" => Input::Dense(Mat::uniform(192, 128, 13)),
+        "dense-comm-bound-384x256-k32" => Input::Dense(Mat::uniform(384, 256, 19)),
+        other => panic!("unknown bench shape {other}"),
+    }
+}
+
+struct CaseResult {
+    shape: &'static str,
+    p: usize,
+    grid: (usize, usize),
+    iters: usize,
+    sync_s: f64,
+    ovl_s: f64,
+    /// Post→wait overlap window achieved, rank-summed seconds per iter.
+    window_s: f64,
+    posts_per_iter: f64,
+}
+
+/// One timed run of the distributed iteration loop: every rank steps its
+/// `AnlsEngine` back-to-back with no central controller in the loop (the
+/// way an MPI job runs), so the measurement is the Grid2D schedule
+/// itself. Returns the slowest rank's wall time and the rank-summed
+/// communication counters.
+fn run_once(input: &Input, grid: Grid, cfg: &NmfConfig, iters: usize) -> (Duration, CommStats) {
+    let (m, n) = input.shape();
+    let w0 = init_w(m, cfg.k, cfg.seed);
+    let ht0 = init_ht(n, cfg.k, cfg.seed);
+    let dist_m = Dist1D::new(m, grid.pr);
+    let dist_n = Dist1D::new(n, grid.pc);
+    let overlap = cfg.overlap;
+    let per_rank = universe::run(grid.size(), |comm| {
+        let (i, j) = grid.coords(comm.rank());
+        let rows = dist_m.part(i);
+        let cols = dist_n.part(j);
+        let local = input.block(rows.offset, cols.offset, rows.len, cols.len);
+        let wpart = Dist1D::new(rows.len, grid.pc).part(j);
+        let hpart = Dist1D::new(cols.len, grid.pr).part(i);
+        let w0_local = w0.rows_block(rows.offset + wpart.offset, wpart.len);
+        let ht0_local = ht0.rows_block(cols.offset + hpart.offset, hpart.len);
+        let scheme = Grid2D::new(comm, grid, (m, n), cfg.k).with_overlap(overlap);
+        let mut engine = AnlsEngine::new(scheme, &local, cfg, w0_local, ht0_local);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            engine.step();
+        }
+        let wall = t0.elapsed();
+        let mut comm_total = CommStats::new();
+        for rec in engine.records() {
+            comm_total.merge(&rec.comm);
+        }
+        (wall, comm_total)
+    });
+    let mut wall = Duration::ZERO;
+    let mut comm = CommStats::new();
+    for r in per_rank {
+        let (w, c) = r.result;
+        wall = wall.max(w);
+        comm.merge(&c);
+    }
+    (wall, comm)
+}
+
+/// Median per-iteration wall time over `reps` timed runs (plus one
+/// warm-up run), and the summed comm stats of the last run.
+fn run_case(
+    input: &Input,
+    p: usize,
+    k: usize,
+    iters: usize,
+    reps: usize,
+    overlap: bool,
+) -> (f64, CommStats, (usize, usize)) {
+    let cfg = NmfConfig::new(k)
+        .with_max_iters(iters)
+        .with_solver(SolverKind::Hals)
+        .with_seed(41)
+        .with_overlap(overlap);
+    let (m, n) = input.shape();
+    let grid = Grid::optimal(m, n, p);
+    let mut samples = Vec::with_capacity(reps);
+    let mut comm = CommStats::new();
+    for rep in 0..=reps {
+        let (wall, comm_run) = run_once(input, grid, &cfg, iters);
+        if rep > 0 {
+            // rep 0 is the warm-up (thread spawn, lazy init, page faults).
+            samples.push(wall.as_secs_f64() / iters as f64);
+        }
+        comm = comm_run;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], comm, (grid.pr, grid.pc))
+}
+
+/// Child mode: run one (shape, p, mode) case and print one parseable
+/// line. Spec format: `shape;p;overlap`.
+fn child_main(spec: &str) {
+    let mut it = spec.split(';');
+    let shape = it.next().expect("shape in child spec");
+    let p: usize = it.next().and_then(|s| s.parse().ok()).expect("p");
+    let overlap: bool = it.next().and_then(|s| s.parse().ok()).expect("overlap");
+    let (_, k, full_iters, full_reps) = *SHAPES
+        .iter()
+        .find(|(n, ..)| *n == shape)
+        .expect("known shape");
+    let (iters, reps) = if quick() {
+        (2, 1)
+    } else {
+        (full_iters, full_reps)
+    };
+    let input = make_input(shape);
+    let (median_s, comm, grid) = run_case(&input, p, k, iters, reps, overlap);
+    println!(
+        "CASE {} {} {} {} {} {} {:.9} {:.9} {}",
+        shape,
+        p,
+        grid.0,
+        grid.1,
+        iters,
+        overlap,
+        median_s,
+        comm.total_overlap().as_secs_f64() / iters as f64,
+        comm.total_posts() as f64 / iters as f64,
+    );
+}
+
+/// Re-executes this binary for one case and parses the `CASE` line.
+fn spawn_case(shape: &str, p: usize, overlap: bool) -> (f64, f64, f64, (usize, usize), usize) {
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .env("BENCH_PR7_CHILD", format!("{shape};{p};{overlap}"))
+        .output()
+        .expect("spawn bench child");
+    assert!(
+        out.status.success(),
+        "bench child failed for {shape} p={p}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("CASE "))
+        .expect("child printed a CASE line");
+    let f: Vec<&str> = line.split_whitespace().collect();
+    let grid = (f[3].parse().expect("pr"), f[4].parse().expect("pc"));
+    let iters = f[5].parse().expect("iters");
+    (
+        f[7].parse().expect("median"),
+        f[8].parse().expect("window"),
+        f[9].parse().expect("posts"),
+        grid,
+        iters,
+    )
+}
+
+fn main() {
+    if let Ok(spec) = std::env::var("BENCH_PR7_CHILD") {
+        child_main(&spec);
+        return;
+    }
+    // Optional substring filter over shape names.
+    let only = std::env::var("BENCH_PR7_ONLY").ok();
+
+    let mut results = Vec::new();
+    for (shape, _, _, _) in SHAPES {
+        if let Some(f) = &only {
+            if !shape.contains(f.as_str()) {
+                continue;
+            }
+        }
+        for p in [16usize, 64] {
+            let (sync_s, _, _, _, _) = spawn_case(shape, p, false);
+            let (ovl_s, window_s, posts_per_iter, grid, iters) = spawn_case(shape, p, true);
+            let r = CaseResult {
+                shape,
+                p,
+                grid,
+                iters,
+                sync_s,
+                ovl_s,
+                window_s,
+                posts_per_iter,
+            };
+            println!(
+                "{:<34} p={:<3} grid={}x{}  sync {:.5} s/iter  overlap {:.5} s/iter  win {:+.1}%  window {:.4} rank-s/iter",
+                r.shape,
+                r.p,
+                r.grid.0,
+                r.grid.1,
+                r.sync_s,
+                r.ovl_s,
+                (r.sync_s - r.ovl_s) / r.sync_s * 100.0,
+                r.window_s
+            );
+            results.push(r);
+        }
+    }
+
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"comm_overlap_pr7\",\n  \"quick\": ");
+    s.push_str(if quick() { "true" } else { "false" });
+    s.push_str(",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"p\": {}, \"grid\": [{}, {}], \"iters\": {}, \
+             \"sync_s_per_iter\": {:.6}, \"overlap_s_per_iter\": {:.6}, \
+             \"win_pct\": {:.2}, \"overlap_window_rank_s_per_iter\": {:.6}, \
+             \"posts_per_iter\": {:.1}}}",
+            r.shape,
+            r.p,
+            r.grid.0,
+            r.grid.1,
+            r.iters,
+            r.sync_s,
+            r.ovl_s,
+            (r.sync_s - r.ovl_s) / r.sync_s * 100.0,
+            r.window_s,
+            r.posts_per_iter
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+
+    let path = std::env::var("BENCH_PR7_OUT").unwrap_or_else(|_| "BENCH_PR7.json".into());
+    let mut f = std::fs::File::create(&path).expect("create BENCH_PR7.json");
+    f.write_all(s.as_bytes()).expect("write BENCH_PR7.json");
+    println!("wrote {path}");
+}

@@ -18,8 +18,13 @@
 //!
 //! `--json` replaces the human-readable report with one JSON object per
 //! fitted rank on stdout (objective, iterations, stop reason, per-task
-//! compute times, per-collective communication words/messages) for
-//! scripted benchmarking and model selection.
+//! compute times, per-collective communication words/messages plus
+//! split-phase posts and overlap/in-flight seconds) for scripted
+//! benchmarking and model selection.
+//!
+//! `--no-overlap` disables the split-phase schedule of the HPC scheme
+//! (see `docs/comm-overlap.md`), forcing fully synchronous collectives —
+//! the baseline for measuring what overlap buys.
 //!
 //! Argument handling is `Result`-based: every problem found is
 //! accumulated and reported once (as [`NmfError::InvalidArgs`]) together
@@ -48,6 +53,7 @@ struct Args {
     solver: Option<SolverKind>,
     seed: Option<u64>,
     json: bool,
+    no_overlap: bool,
     checkpoint: Option<PathBuf>,
     checkpoint_every: Option<usize>,
     resume: Option<PathBuf>,
@@ -62,7 +68,8 @@ impl Args {
         let mut c = NmfConfig::new(k)
             .with_max_iters(self.iters.unwrap_or(20))
             .with_solver(self.solver.unwrap_or(SolverKind::Bpp))
-            .with_seed(self.seed.unwrap_or(42));
+            .with_seed(self.seed.unwrap_or(42))
+            .with_overlap(!self.no_overlap);
         if let Some(t) = self.tol {
             c = c.with_tol(t);
         }
@@ -153,6 +160,7 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
                     parse_num(val("--seed", &mut errors), "--seed", &mut errors).map(|s| s as u64)
             }
             "--json" => args.json = true,
+            "--no-overlap" => args.no_overlap = true,
             "--checkpoint" => args.checkpoint = val("--checkpoint", &mut errors).map(PathBuf::from),
             "--checkpoint-every" => {
                 args.checkpoint_every = parse_num(
@@ -489,6 +497,13 @@ fn print_human(model: &Model, stop: StopReason, wall: Duration) {
                 s.messages
             );
         }
+        if comm.total_posts() > 0 {
+            println!(
+                "  overlap: {} split-phase posts, {:.3?} of compute hidden in flight",
+                comm.total_posts(),
+                comm.total_overlap()
+            );
+        }
     }
 }
 
@@ -525,6 +540,7 @@ fn print_json(input: &Input, model: &Model, stop: StopReason, wall: Duration) {
         config.solver,
         config.seed
     ));
+    s.push_str(&format!("\"overlap\":{},", config.overlap));
     s.push_str(&format!(
         "\"iterations\":{},\"total_iterations\":{},\"stop\":\"{}\",\"wall_seconds\":{:.6},\"objective\":{},\"rel_error\":{},",
         model.records().len(),
@@ -557,11 +573,15 @@ fn print_json(input: &Input, model: &Model, stop: StopReason, wall: Duration) {
         }
         let st = comm.op(op);
         s.push_str(&format!(
-            "\"{}\":{{\"words\":{},\"messages\":{},\"seconds\":{:.6}}}",
+            "\"{}\":{{\"words\":{},\"messages\":{},\"seconds\":{:.6},\
+             \"posts\":{},\"overlap_seconds\":{:.6},\"inflight_seconds\":{:.6}}}",
             op.name(),
             st.words,
             st.messages,
-            st.time.as_secs_f64()
+            st.time.as_secs_f64(),
+            st.posts,
+            st.overlap.as_secs_f64(),
+            st.inflight.as_secs_f64()
         ));
     }
     s.push_str("}}");
@@ -598,6 +618,15 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("unknown solver")));
         assert!(errs.iter().any(|e| e.contains("unknown algorithm")));
         assert!(errs.iter().any(|e| e.contains("--checkpoint-every")));
+    }
+
+    #[test]
+    fn no_overlap_flag_disables_overlap_in_config() {
+        let args = parse_args(&argv("--dataset dsyn --no-overlap")).expect("valid");
+        assert!(args.no_overlap);
+        assert!(!args.config(10).overlap);
+        let args = parse_args(&argv("--dataset dsyn")).expect("valid");
+        assert!(args.config(10).overlap, "overlap defaults on");
     }
 
     #[test]

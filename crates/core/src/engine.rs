@@ -59,7 +59,8 @@ use crate::workspace::{IterWorkspace, SessionPack};
 use nmf_matrix::gram::gram_into;
 use nmf_matrix::Mat;
 use nmf_nls::NlsSolver;
-use nmf_vmpi::{Comm, CommStats};
+use nmf_vmpi::{Comm, CommStats, PendingOp};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 /// The data-matrix kernels an ANLS iteration needs. The data matrix
@@ -228,6 +229,90 @@ pub trait CommScheme {
 
     /// Snapshot of this rank's cumulative communication counters.
     fn comm_stats(&self) -> CommStats;
+
+    // ------------------------------------------------------------------
+    // Split-phase variants
+    //
+    // The engine drives the iteration through these post/wait pairs so an
+    // overlapping scheme can put a collective in flight and run the next
+    // local product before completing it. The defaults collapse to the
+    // synchronous hooks — the Gram reduction runs whole at its post site,
+    // gathers and scatters run whole at their wait site — so LocalScheme
+    // and Replicated1D (and any scheme that doesn't override) execute the
+    // exact schedule they always did.
+    // ------------------------------------------------------------------
+
+    /// Puts the H-assembly gather in flight (no-op for synchronous
+    /// schemes; the work happens in [`wait_gather_h`](Self::wait_gather_h)).
+    fn post_gather_h(&self, ws: &mut IterWorkspace, ht_local: &Mat) {
+        let _ = (ws, ht_local);
+    }
+
+    /// Completes the H-assembly gather posted by `post_gather_h`.
+    fn wait_gather_h(&self, ws: &mut IterWorkspace, ht_local: &Mat) -> FactorSource {
+        self.gather_h(ws, ht_local)
+    }
+
+    /// Puts the `HHᵀ` reduction in flight (synchronous schemes do the
+    /// whole reduction here).
+    fn post_reduce_gram_h(&self, ws: &mut IterWorkspace, ht_local: &Mat, tt: &mut TaskTimes) {
+        self.reduce_gram_h(ws, ht_local, tt);
+    }
+
+    /// Completes the `HHᵀ` reduction into `ws.gram_solve`.
+    fn wait_reduce_gram_h(&self, ws: &mut IterWorkspace) {
+        let _ = ws;
+    }
+
+    /// Puts the W-side reduce-scatter of `ws.mm_w` in flight.
+    fn post_reduce_scatter_w(&self, ws: &mut IterWorkspace) {
+        let _ = ws;
+    }
+
+    /// Completes the W-side reduce-scatter.
+    fn wait_reduce_scatter_w(&self, ws: &mut IterWorkspace) -> RhsSource {
+        self.reduce_scatter_w(ws)
+    }
+
+    /// Puts the W-assembly gather in flight.
+    fn post_gather_w(&self, ws: &mut IterWorkspace, w_local: &Mat) {
+        let _ = (ws, w_local);
+    }
+
+    /// Completes the W-assembly gather posted by `post_gather_w`.
+    fn wait_gather_w(&self, ws: &mut IterWorkspace, w_local: &Mat) -> FactorSource {
+        self.gather_w(ws, w_local)
+    }
+
+    /// Puts the `WᵀW` reduction in flight (computes the local Gram first).
+    fn post_reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes) {
+        self.reduce_gram_w(ws, w_local, tt);
+    }
+
+    /// Completes the `WᵀW` reduction into `ws.gram_w`.
+    fn wait_reduce_gram_w(&self, ws: &mut IterWorkspace) {
+        let _ = ws;
+    }
+
+    /// Puts the H-side reduce-scatter of `ws.mm_h` in flight.
+    fn post_reduce_scatter_h(&self, ws: &mut IterWorkspace) {
+        let _ = ws;
+    }
+
+    /// Completes the H-side reduce-scatter.
+    fn wait_reduce_scatter_h(&self, ws: &mut IterWorkspace) -> RhsSource {
+        self.reduce_scatter_h(ws)
+    }
+
+    /// Whether the engine may post the *next* iteration's H-side
+    /// collectives (`post_gather_h` / `post_reduce_gram_h`) before this
+    /// iteration's objective reduction, letting them ride its wake
+    /// chain. Only meaningful for genuinely split-phase schemes — the
+    /// defaults execute work at the post site, which must not move
+    /// across the iteration boundary — so this defaults to `false`.
+    fn prefetch_across_iterations(&self) -> bool {
+        false
+    }
 }
 
 /// Algorithm 1: single process, no communication. Every hook is the
@@ -430,6 +515,28 @@ pub struct Grid2D<'c> {
     w_counts: Vec<usize>,
     h_counts: Vec<usize>,
     k: usize,
+    /// Whether to run the split-phase (post/wait) schedule. When false,
+    /// every hook falls back to its synchronous sibling — same words,
+    /// same tags, no overlap.
+    overlap: bool,
+    /// The collectives currently in flight. Interior mutability because
+    /// the `CommScheme` hooks take `&self`; at most one op per slot is
+    /// pending at any point of the fixed step schedule.
+    pending: RefCell<PendingGrid>,
+}
+
+/// In-flight split-phase collectives of one [`Grid2D`] step. Slot names
+/// follow the hook that posts into them; `wait_*` drains the slot (or
+/// falls back to the synchronous path when the slot is empty, i.e.
+/// overlap is disabled).
+#[derive(Default)]
+struct PendingGrid {
+    gram_h: Option<PendingOp>,
+    gather_h: Option<PendingOp>,
+    rs_w: Option<PendingOp>,
+    gram_w: Option<PendingOp>,
+    gather_w: Option<PendingOp>,
+    rs_h: Option<PendingOp>,
 }
 
 impl<'c> Grid2D<'c> {
@@ -473,7 +580,41 @@ impl<'c> Grid2D<'c> {
             w_counts: sub_rows.lens_scaled(k),
             h_counts: sub_cols.lens_scaled(k),
             k,
+            overlap: true,
+            pending: RefCell::new(PendingGrid::default()),
         }
+    }
+
+    /// Enables or disables the split-phase overlapped schedule
+    /// (default: enabled). Must agree across ranks — the schedule is
+    /// part of the collective call sequence.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Whether this scheme runs the overlapped schedule.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
+    /// Completes `op` into `out`, opportunistically advancing the
+    /// in-flight op in the `sibling` slot whenever this wait would park.
+    /// When ranks are oversubscribed onto few cores this batches all
+    /// arrived rounds of both collectives into one thread activation
+    /// instead of waking once per round of one op.
+    fn wait_driving(
+        &self,
+        op: PendingOp,
+        out: &mut [f64],
+        sibling: fn(&mut PendingGrid) -> &mut Option<PendingOp>,
+    ) {
+        op.wait_with(out, || {
+            if let Some(other) = sibling(&mut self.pending.borrow_mut()).as_mut() {
+                other.try_progress();
+            }
+        });
     }
 
     /// Expected shape of this rank's `Aᵢⱼ` block.
@@ -576,11 +717,186 @@ impl CommScheme for Grid2D<'_> {
     }
 
     fn reduce_objective_terms(&self, terms: &mut [f64]) {
-        self.world.all_reduce_into(terms);
+        if self.overlap {
+            // Same algorithm, words, and tags as the synchronous
+            // all-reduce, but driven through the split-phase machinery so
+            // every park of this latency-bound reduction also advances
+            // the prefetched next-iteration collectives (see the engine's
+            // cross-iteration prefetch).
+            let op = self.world.post_all_reduce(terms);
+            op.wait_with(terms, || {
+                let mut p = self.pending.borrow_mut();
+                if let Some(other) = p.gather_h.as_mut() {
+                    other.try_progress();
+                }
+                if let Some(other) = p.gram_h.as_mut() {
+                    other.try_progress();
+                }
+            });
+        } else {
+            self.world.all_reduce_into(terms);
+        }
     }
 
     fn comm_stats(&self) -> CommStats {
         self.world.stats()
+    }
+
+    fn prefetch_across_iterations(&self) -> bool {
+        self.overlap
+    }
+
+    // --- Split-phase overrides: the overlapped Algorithm 3 schedule ---
+    //
+    // Per-communicator collective order is identical to the synchronous
+    // path (world: Gram-H, Gram-W, objective; column: gather-H,
+    // scatter-H; row: scatter-W, gather-W), so tags, words, and messages
+    // on the wire are exactly the same — only the *schedule* changes:
+    // each collective is posted as soon as its operand exists and waited
+    // only when its result is consumed, letting the local MM products run
+    // inside the communication windows.
+
+    fn post_gather_h(&self, _ws: &mut IterWorkspace, ht_local: &Mat) {
+        if self.overlap {
+            self.pending.borrow_mut().gather_h = Some(
+                self.col_comm
+                    .post_all_gatherv(ht_local.as_slice(), &self.h_counts),
+            );
+        }
+    }
+
+    fn wait_gather_h(&self, ws: &mut IterWorkspace, ht_local: &Mat) -> FactorSource {
+        let taken = self.pending.borrow_mut().gather_h.take();
+        match taken {
+            Some(op) => {
+                self.wait_driving(op, ws.ht_gather.as_mut_slice(), |p| &mut p.gram_h);
+                FactorSource::Gathered
+            }
+            None => self.gather_h(ws, ht_local),
+        }
+    }
+
+    fn post_reduce_gram_h(&self, ws: &mut IterWorkspace, ht_local: &Mat, tt: &mut TaskTimes) {
+        if self.overlap {
+            // The local Gram is already in `gram_local` (prime / previous
+            // objective); the all-reduce completes into `gram_solve` at
+            // wait time, matching the synchronous copy-then-reduce.
+            self.pending.borrow_mut().gram_h =
+                Some(self.world.post_all_reduce(ws.gram_local.as_slice()));
+        } else {
+            self.reduce_gram_h(ws, ht_local, tt);
+        }
+    }
+
+    fn wait_reduce_gram_h(&self, ws: &mut IterWorkspace) {
+        let taken = self.pending.borrow_mut().gram_h.take();
+        if let Some(op) = taken {
+            self.wait_driving(op, ws.gram_solve.as_mut_slice(), |p| &mut p.rs_w);
+        }
+    }
+
+    fn post_reduce_scatter_w(&self, ws: &mut IterWorkspace) {
+        if self.overlap {
+            self.pending.borrow_mut().rs_w = Some(
+                self.row_comm
+                    .post_reduce_scatter(ws.mm_w.as_slice(), &self.w_counts),
+            );
+        }
+    }
+
+    fn wait_reduce_scatter_w(&self, ws: &mut IterWorkspace) -> RhsSource {
+        match self.pending.borrow_mut().rs_w.take() {
+            Some(op) => {
+                op.wait(ws.aht.as_mut_slice());
+                RhsSource::Scattered
+            }
+            None => self.reduce_scatter_w(ws),
+        }
+    }
+
+    fn post_gather_w(&self, _ws: &mut IterWorkspace, w_local: &Mat) {
+        if self.overlap {
+            self.pending.borrow_mut().gather_w = Some(
+                self.row_comm
+                    .post_all_gatherv(w_local.as_slice(), &self.w_counts),
+            );
+        }
+    }
+
+    fn wait_gather_w(&self, ws: &mut IterWorkspace, w_local: &Mat) -> FactorSource {
+        let taken = self.pending.borrow_mut().gather_w.take();
+        match taken {
+            Some(op) => {
+                self.wait_driving(op, ws.w_gather.as_mut_slice(), |p| &mut p.gram_w);
+                FactorSource::Gathered
+            }
+            None => self.gather_w(ws, w_local),
+        }
+    }
+
+    fn post_reduce_gram_w(&self, ws: &mut IterWorkspace, w_local: &Mat, tt: &mut TaskTimes) {
+        if self.overlap {
+            let t0 = Instant::now();
+            gram_into(w_local, &mut ws.gram_local);
+            tt.gram += t0.elapsed();
+            self.pending.borrow_mut().gram_w =
+                Some(self.world.post_all_reduce(ws.gram_local.as_slice()));
+        } else {
+            self.reduce_gram_w(ws, w_local, tt);
+        }
+    }
+
+    fn wait_reduce_gram_w(&self, ws: &mut IterWorkspace) {
+        let taken = self.pending.borrow_mut().gram_w.take();
+        if let Some(op) = taken {
+            self.wait_driving(op, ws.gram_w.as_mut_slice(), |p| &mut p.rs_h);
+        }
+    }
+
+    fn post_reduce_scatter_h(&self, ws: &mut IterWorkspace) {
+        if self.overlap {
+            self.pending.borrow_mut().rs_h = Some(
+                self.col_comm
+                    .post_reduce_scatter(ws.mm_h.as_slice(), &self.h_counts),
+            );
+        }
+    }
+
+    fn wait_reduce_scatter_h(&self, ws: &mut IterWorkspace) -> RhsSource {
+        match self.pending.borrow_mut().rs_h.take() {
+            Some(op) => {
+                op.wait(ws.wta.as_mut_slice());
+                RhsSource::Scattered
+            }
+            None => self.reduce_scatter_h(ws),
+        }
+    }
+}
+
+impl Drop for Grid2D<'_> {
+    fn drop(&mut self) {
+        // A prefetched collective can still be in flight when an engine
+        // is dropped mid-run. Peers' rounds depend on this rank's sends,
+        // so each op is driven to completion and its result discarded —
+        // leaking it would deadlock the universe silently.
+        if std::thread::panicking() {
+            // Peers may be gone; PendingOp's own Drop copes with this.
+            return;
+        }
+        let mut p = self.pending.borrow_mut();
+        for op in [
+            p.gram_h.take(),
+            p.gather_h.take(),
+            p.rs_w.take(),
+            p.gram_w.take(),
+            p.gather_w.take(),
+            p.rs_h.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            op.discard();
+        }
     }
 }
 
@@ -639,6 +955,9 @@ pub struct AnlsEngine<S: CommScheme, D: AnlsData> {
     /// checkpoint); added to `started.elapsed()` for budget decisions.
     prior_elapsed: Duration,
     stop: Option<StopReason>,
+    /// Whether the previous `step` already posted this iteration's
+    /// H-side collectives (the cross-iteration prefetch — see `step`).
+    prefetched: bool,
 }
 
 impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
@@ -689,6 +1008,7 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
             started: Instant::now(),
             prior_elapsed: Duration::ZERO,
             stop: None,
+            prefetched: false,
         }
     }
 
@@ -705,9 +1025,21 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
         let mut tt = TaskTimes::default();
         let ws = &mut self.ws;
 
-        /* ---- Compute W given H ---- */
-        self.scheme.reduce_gram_h(ws, &self.ht_local, &mut tt);
-        let h_src = self.scheme.gather_h(ws, &self.ht_local);
+        /* ---- Compute W given H ----
+         * Split-phase schedule: the H gather and the HHᵀ reduction go in
+         * flight first, then the local A·Hᵀ product runs while the Gram
+         * all-reduce is still on the wire; the W reduce-scatter is posted
+         * the moment its operand exists. Synchronous schemes fall through
+         * the default hooks and execute the classic ordered schedule. */
+        if self.prefetched {
+            // The previous step already put this iteration's H gather
+            // and Gram reduction on the wire (see the prefetch below).
+            self.prefetched = false;
+        } else {
+            self.scheme.post_gather_h(ws, &self.ht_local);
+            self.scheme.post_reduce_gram_h(ws, &self.ht_local, &mut tt);
+        }
+        let h_src = self.scheme.wait_gather_h(ws, &self.ht_local);
         let t0 = Instant::now();
         {
             let hmat = match h_src {
@@ -717,7 +1049,9 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
             self.data.mm_a_ht_into(&mut ws.pack, hmat, &mut ws.mm_w);
         }
         tt.mm += t0.elapsed();
-        let w_rhs = self.scheme.reduce_scatter_w(ws);
+        self.scheme.post_reduce_scatter_w(ws);
+        self.scheme.wait_reduce_gram_h(ws);
+        let w_rhs = self.scheme.wait_reduce_scatter_w(ws);
         let t0 = Instant::now();
         apply_ridge(&mut ws.gram_solve, self.config.l2_w);
         {
@@ -729,9 +1063,10 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
         }
         tt.nls += t0.elapsed();
 
-        /* ---- Compute H given W ---- */
-        self.scheme.reduce_gram_w(ws, &self.w_local, &mut tt);
-        let w_src = self.scheme.gather_w(ws, &self.w_local);
+        /* ---- Compute H given W ---- (mirror of the W side) */
+        self.scheme.post_gather_w(ws, &self.w_local);
+        self.scheme.post_reduce_gram_w(ws, &self.w_local, &mut tt);
+        let w_src = self.scheme.wait_gather_w(ws, &self.w_local);
         let t0 = Instant::now();
         {
             let wmat = match w_src {
@@ -741,7 +1076,9 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
             self.data.mm_at_w_into(&mut ws.pack, wmat, &mut ws.mm_h);
         }
         tt.mm += t0.elapsed();
-        let h_rhs = self.scheme.reduce_scatter_h(ws);
+        self.scheme.post_reduce_scatter_h(ws);
+        self.scheme.wait_reduce_gram_w(ws);
+        let h_rhs = self.scheme.wait_reduce_scatter_h(ws);
         let t0 = Instant::now();
         ws.gram_solve.copy_from(&ws.gram_w);
         apply_ridge(&mut ws.gram_solve, self.config.l2_h);
@@ -782,6 +1119,25 @@ impl<S: CommScheme, D: AnlsData> AnlsEngine<S, D> {
         } else {
             2
         };
+        /* ---- Cross-iteration prefetch ----
+         * Under a fixed-iteration policy the next step is certain to
+         * run, so its H gather and HHᵀ reduction (whose operands —
+         * `ht_local` and the objective's `gram_local` — are final) go on
+         * the wire now and ride the objective reduction's wake chain:
+         * every rank the all-reduce wakes also drains the prefetched
+         * rounds, instead of starting them cold next step. Gated to
+         * split-phase schemes (`prefetch_across_iterations`) because the
+         * default hooks execute work at the post site, and to iterations
+         * that are certain to happen so the total op count — which the
+         * exact communication-cost accounting pins — is unchanged. */
+        if self.scheme.prefetch_across_iterations()
+            && self.policy == ConvergencePolicy::MaxIters
+            && self.iterations_done + 1 < self.config.max_iters
+        {
+            self.scheme.post_gather_h(ws, &self.ht_local);
+            self.scheme.post_reduce_gram_h(ws, &self.ht_local, &mut tt);
+            self.prefetched = true;
+        }
         self.scheme.reduce_objective_terms(&mut terms[..nterms]);
         let objective = self.norm_a_sq - 2.0 * terms[0] + terms[1];
 

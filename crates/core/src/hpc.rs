@@ -95,7 +95,7 @@ pub fn hpc_nmf_rank_with_workspace(
     config: &NmfConfig,
     ws: &mut IterWorkspace,
 ) -> RankNmfOutput {
-    let scheme = Grid2D::new(comm, grid, dims, config.k);
+    let scheme = Grid2D::new(comm, grid, dims, config.k).with_overlap(config.overlap);
     assert_eq!(
         (local.nrows(), local.ncols()),
         scheme.block_shape(),

@@ -72,7 +72,7 @@ pub(crate) enum Counts<'a> {
 
 impl Counts<'_> {
     #[inline]
-    fn get(&self, i: usize) -> usize {
+    pub(crate) fn get(&self, i: usize) -> usize {
         match self {
             Counts::Eq(len) => *len,
             Counts::Var(c) => c[i],
@@ -80,10 +80,63 @@ impl Counts<'_> {
     }
 
     #[inline]
-    fn total(&self, p: usize) -> usize {
+    pub(crate) fn total(&self, p: usize) -> usize {
         match self {
             Counts::Eq(len) => len * p,
             Counts::Var(c) => c.iter().sum(),
+        }
+    }
+
+    /// Collapses a per-rank counts slice to `Eq` when every entry is the
+    /// same — the equal-counts fast path that lets Bruck's rotated offsets
+    /// be computed arithmetically instead of via a prefix table.
+    #[inline]
+    pub(crate) fn detect(counts: &[usize]) -> Counts<'_> {
+        if counts.windows(2).all(|w| w[0] == w[1]) {
+            Counts::Eq(counts.first().copied().unwrap_or(0))
+        } else {
+            Counts::Var(counts)
+        }
+    }
+}
+
+/// Rotated-block prefix offsets for Bruck's all-gather: `at(t)` is the
+/// number of words in rotated blocks `0..t`. Equal blocks need no table —
+/// the offset is just `t · len` — which is what makes the equal-counts
+/// fast path worthwhile for the split-phase gatherv on uniform grids.
+pub(crate) enum RotOff {
+    Eq(usize),
+    /// Prefix table checked out of the communicator arena.
+    Var(Vec<usize>),
+}
+
+impl RotOff {
+    /// Builds offsets for rank `r` of `p`: rotated block `t` is the block
+    /// of rank `(r + t) mod p`.
+    pub(crate) fn build(core: &crate::comm::CommCore, counts: Counts<'_>, p: usize) -> RotOff {
+        match counts {
+            Counts::Eq(len) => RotOff::Eq(len),
+            Counts::Var(_) => {
+                let r = core.rank;
+                let mut table = core.take_idx();
+                prefix_sums_into(p, &mut table, |t| counts.get((r + t) % p));
+                RotOff::Var(table)
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, t: usize) -> usize {
+        match self {
+            RotOff::Eq(len) => len * t,
+            RotOff::Var(table) => table[t],
+        }
+    }
+
+    /// Returns any arena scratch held by the offsets.
+    pub(crate) fn release(self, core: &crate::comm::CommCore) {
+        if let RotOff::Var(table) = self {
+            core.put_idx(table);
         }
     }
 }
@@ -92,7 +145,7 @@ impl Counts<'_> {
 /// empty): `out[i] = Σ_{t<i} count_of(t)`, length `n + 1`. One
 /// implementation for every offset table the collectives build (rotated
 /// Bruck blocks, rank segments, virtual fold chunks).
-fn prefix_sums_into(n: usize, out: &mut Vec<usize>, count_of: impl Fn(usize) -> usize) {
+pub(crate) fn prefix_sums_into(n: usize, out: &mut Vec<usize>, count_of: impl Fn(usize) -> usize) {
     debug_assert!(out.is_empty());
     out.push(0);
     for i in 0..n {
@@ -100,10 +153,22 @@ fn prefix_sums_into(n: usize, out: &mut Vec<usize>, count_of: impl Fn(usize) -> 
     }
 }
 
-fn add_into(acc: &mut [f64], other: &[f64]) {
+pub(crate) fn add_into(acc: &mut [f64], other: &[f64]) {
     assert_eq!(acc.len(), other.len(), "reduction operand length mismatch");
     for (a, b) in acc.iter_mut().zip(other) {
         *a += b;
+    }
+}
+
+/// Copies Bruck's rotated staging back into rank order: output block `j`
+/// is rotated block `(j − r) mod p`.
+pub(crate) fn unrotate(rot: &[f64], rot_off: &RotOff, p: usize, r: usize, out: &mut [f64]) {
+    let mut off = 0;
+    for j in 0..p {
+        let t = (j + p - r) % p;
+        let len = rot_off.at(t + 1) - rot_off.at(t);
+        out[off..off + len].copy_from_slice(&rot[rot_off.at(t)..rot_off.at(t) + len]);
+        off += len;
     }
 }
 
@@ -139,7 +204,9 @@ impl Comm {
     }
 
     /// `v`-variant all-gather into caller-owned `out` (length must equal
-    /// the sum of `counts`).
+    /// the sum of `counts`). Uniform counts (as produced by evenly
+    /// divisible grids) take the equal-block fast path and skip the
+    /// rotated prefix table.
     pub fn all_gatherv_into(&self, send: &[f64], counts: &[usize], out: &mut [f64]) {
         assert_eq!(
             counts.len(),
@@ -148,7 +215,7 @@ impl Comm {
         );
         let seq = self.next_seq();
         self.timed(Op::AllGather, || {
-            self.bruck_all_gatherv_into(send, Counts::Var(counts), out, seq, Op::AllGather)
+            self.bruck_all_gatherv_into(send, Counts::detect(counts), out, seq, Op::AllGather)
         });
     }
 
@@ -186,13 +253,12 @@ impl Comm {
             return;
         }
 
-        // rot_off[t] = words of rotated blocks 0..t; rotated block t is
-        // the block of rank (r + t) mod p.
-        let mut rot_off = self.take_idx();
-        prefix_sums_into(p, &mut rot_off, |t| counts.get((r + t) % p));
+        // rot_off.at(t) = words of rotated blocks 0..t; rotated block t is
+        // the block of rank (r + t) mod p. Equal counts need no table.
+        let rot_off = RotOff::build(&self.core, counts, p);
 
         let mut rot = self.take_buf();
-        rot.reserve(rot_off[p]);
+        rot.reserve(rot_off.at(p));
         rot.extend_from_slice(send);
 
         let mut have = 1usize;
@@ -205,10 +271,10 @@ impl Comm {
             // Ship rotated blocks [0, cnt): a contiguous prefix. Receive
             // the blocks of ranks src..src+cnt — rotated positions
             // have..have+cnt — which append contiguously.
-            let data = self.exchange(dst, src, tag, &rot[..rot_off[cnt]], op);
+            let data = self.exchange(dst, src, tag, &rot[..rot_off.at(cnt)], op);
             assert_eq!(
                 data.len(),
-                rot_off[have + cnt] - rot_off[have],
+                rot_off.at(have + cnt) - rot_off.at(have),
                 "all-gather round payload length mismatch"
             );
             rot.extend_from_slice(&data);
@@ -216,16 +282,9 @@ impl Comm {
             round += 1;
         }
 
-        // Unrotate: output block j is rotated block (j − r) mod p.
-        let mut off = 0;
-        for j in 0..p {
-            let t = (j + p - r) % p;
-            let len = rot_off[t + 1] - rot_off[t];
-            out[off..off + len].copy_from_slice(&rot[rot_off[t]..rot_off[t] + len]);
-            off += len;
-        }
+        unrotate(&rot, &rot_off, p, r, out);
         self.put_buf(rot);
-        self.put_idx(rot_off);
+        rot_off.release(&self.core);
     }
 
     // ------------------------------------------------------------------

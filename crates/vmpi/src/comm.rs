@@ -29,6 +29,14 @@ pub(crate) enum Kind {
 /// (capacity is retained across calls), and checks it back in on exit.
 /// After the first iteration of a steady-state loop every checkout is
 /// allocation-free.
+///
+/// The arena is a *pool*, not a single slot: several buffers may be
+/// checked out at once. That is what makes split-phase collectives safe —
+/// a posted [`PendingOp`](crate::pending::PendingOp) owns its staging
+/// buffers from post until wait, while any collective running inside the
+/// overlap window checks out different buffers. The pool simply grows to
+/// the high-water mark of concurrently live checkouts (double-buffering
+/// when one op is in flight) and then reuses that set forever.
 #[derive(Default)]
 pub(crate) struct Arena {
     f64s: Vec<Vec<f64>>,
@@ -49,6 +57,77 @@ impl Arena {
     }
 }
 
+/// The detachable core of a communicator: endpoints, counters, arena, and
+/// membership, all behind `Rc`s so a clone is a handful of refcount bumps.
+///
+/// A [`Comm`] is a `CommCore` plus the per-communicator sequence state.
+/// Posted collectives clone the core into their
+/// [`PendingOp`](crate::pending::PendingOp) handle so the in-flight op can
+/// make progress (send, receive, check buffers in and out) without
+/// borrowing the `Comm` it was posted on.
+#[derive(Clone)]
+pub(crate) struct CommCore {
+    pub ep: Rc<Endpoints>,
+    pub stats: Rc<RefCell<CommStats>>,
+    /// Staging arena shared by this rank's communicators (buffers flow
+    /// freely between the world comm, its splits, and in-flight ops).
+    pub arena: Rc<RefCell<Arena>>,
+    /// World ranks of the members, indexed by comm rank. `Rc<[usize]>`
+    /// so pending ops share the table without copying it.
+    pub members: Rc<[usize]>,
+    /// This rank's position within `members`.
+    pub rank: usize,
+    pub comm_id: u64,
+}
+
+impl CommCore {
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn tag(&self, kind: Kind, seq: u64) -> u64 {
+        (self.comm_id << 32) | ((seq & 0xff_ffff) << 8) | kind as u64
+    }
+
+    /// Internal send in comm-rank space, charged to `op`.
+    pub fn send_op(&self, dst: usize, tag: u64, data: &[f64], op: Op) {
+        self.stats.borrow_mut().record_send(op, data.len());
+        self.ep.send(self.members[dst], tag, data.into());
+    }
+
+    /// Internal receive in comm-rank space.
+    pub fn recv_op(&self, src: usize, tag: u64) -> Box<[f64]> {
+        self.ep.recv(self.members[src], tag)
+    }
+
+    /// Nonblocking internal receive in comm-rank space.
+    pub fn try_recv_op(&self, src: usize, tag: u64) -> Option<Box<[f64]>> {
+        self.ep.try_recv(self.members[src], tag)
+    }
+
+    /// Checks a reusable `f64` staging buffer out of the arena.
+    pub fn take_buf(&self) -> Vec<f64> {
+        self.arena.borrow_mut().take_f64()
+    }
+
+    /// Returns a staging buffer to the arena for reuse.
+    pub fn put_buf(&self, v: Vec<f64>) {
+        self.arena.borrow_mut().f64s.push(v);
+    }
+
+    /// Checks a reusable `usize` scratch table out of the arena.
+    pub fn take_idx(&self) -> Vec<usize> {
+        self.arena.borrow_mut().take_usize()
+    }
+
+    /// Returns a scratch table to the arena for reuse.
+    pub fn put_idx(&self, v: Vec<usize>) {
+        self.arena.borrow_mut().usizes.push(v);
+    }
+}
+
 /// A communicator: a named, ordered group of ranks sharing a collective
 /// sequence space, analogous to an `MPI_Comm`.
 ///
@@ -56,19 +135,9 @@ impl Arena {
 /// channels; isolation comes from the communicator id embedded in every
 /// message tag (asserted on receive).
 pub struct Comm {
-    pub(crate) ep: Rc<Endpoints>,
-    pub(crate) stats: Rc<RefCell<CommStats>>,
-    /// Staging arena shared by this rank's communicators (a collective
-    /// runs on one comm at a time, so sharing maximizes buffer reuse
-    /// between the world comm and its row/column splits).
-    pub(crate) arena: Rc<RefCell<Arena>>,
-    /// World ranks of the members, indexed by comm rank.
-    members: Vec<usize>,
-    /// This rank's position within `members`.
-    rank: usize,
-    comm_id: u64,
+    pub(crate) core: CommCore,
     /// Collective sequence number; advanced identically on every member
-    /// because collectives are called in program order.
+    /// because collectives are called (or posted) in program order.
     seq: Cell<u64>,
     /// Number of `split` calls made on this comm (for child id derivation).
     children: Cell<u64>,
@@ -80,12 +149,14 @@ impl Comm {
         let p = ep.out.len();
         let rank = ep.rank;
         Comm {
-            ep: Rc::new(ep),
-            stats: Rc::new(RefCell::new(CommStats::new())),
-            arena: Rc::new(RefCell::new(Arena::default())),
-            members: (0..p).collect(),
-            rank,
-            comm_id: 0x1,
+            core: CommCore {
+                ep: Rc::new(ep),
+                stats: Rc::new(RefCell::new(CommStats::new())),
+                arena: Rc::new(RefCell::new(Arena::default())),
+                members: (0..p).collect(),
+                rank,
+                comm_id: 0x1,
+            },
             seq: Cell::new(0),
             children: Cell::new(0),
         }
@@ -94,19 +165,19 @@ impl Comm {
     /// Rank of this process within the communicator.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.core.rank
     }
 
     /// Number of ranks in the communicator.
     #[inline]
     pub fn size(&self) -> usize {
-        self.members.len()
+        self.core.size()
     }
 
     /// This rank's world (top-level) rank.
     #[inline]
     pub fn world_rank(&self) -> usize {
-        self.ep.rank
+        self.core.ep.rank
     }
 
     /// A snapshot of this rank's cumulative communication counters.
@@ -114,33 +185,33 @@ impl Comm {
     /// Counters are shared between a world communicator and all
     /// sub-communicators derived from it, so this is the rank's total.
     pub fn stats(&self) -> CommStats {
-        self.stats.borrow().clone()
+        self.core.stats.borrow().clone()
     }
 
     /// Checks a reusable `f64` staging buffer out of the arena (empty,
     /// with whatever capacity past calls built up).
     pub(crate) fn take_buf(&self) -> Vec<f64> {
-        self.arena.borrow_mut().take_f64()
+        self.core.take_buf()
     }
 
     /// Returns a staging buffer to the arena for reuse.
     pub(crate) fn put_buf(&self, v: Vec<f64>) {
-        self.arena.borrow_mut().f64s.push(v);
+        self.core.put_buf(v)
     }
 
     /// Checks a reusable `usize` scratch table (offsets, counts) out of
     /// the arena.
     pub(crate) fn take_idx(&self) -> Vec<usize> {
-        self.arena.borrow_mut().take_usize()
+        self.core.take_idx()
     }
 
     /// Returns a scratch table to the arena for reuse.
     pub(crate) fn put_idx(&self, v: Vec<usize>) {
-        self.arena.borrow_mut().usizes.push(v);
+        self.core.put_idx(v)
     }
 
     pub(crate) fn tag(&self, kind: Kind, seq: u64) -> u64 {
-        (self.comm_id << 32) | ((seq & 0xff_ffff) << 8) | kind as u64
+        self.core.tag(kind, seq)
     }
 
     /// Next collective sequence number (identical across members).
@@ -152,20 +223,19 @@ impl Comm {
 
     /// Internal send in comm-rank space, charged to `op`.
     pub(crate) fn send_op(&self, dst: usize, tag: u64, data: &[f64], op: Op) {
-        self.stats.borrow_mut().record_send(op, data.len());
-        self.ep.send(self.members[dst], tag, data.into());
+        self.core.send_op(dst, tag, data, op)
     }
 
     /// Internal receive in comm-rank space.
     pub(crate) fn recv_op(&self, src: usize, tag: u64) -> Box<[f64]> {
-        self.ep.recv(self.members[src], tag)
+        self.core.recv_op(src, tag)
     }
 
     /// Times `body` and charges the elapsed wall-clock to `op`.
     pub(crate) fn timed<T>(&self, op: Op, body: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
         let out = body();
-        self.stats.borrow_mut().record_time(op, t0.elapsed());
+        self.core.stats.borrow_mut().record_time(op, t0.elapsed());
         out
     }
 
@@ -229,21 +299,23 @@ impl Comm {
             }
         }
         group.sort_unstable();
-        let members: Vec<usize> = group.iter().map(|&(_, r)| self.members[r]).collect();
+        let members: Rc<[usize]> = group.iter().map(|&(_, r)| self.core.members[r]).collect();
         let rank = group
             .iter()
-            .position(|&(_, r)| r == self.rank)
+            .position(|&(_, r)| r == self.core.rank)
             .expect("calling rank must be in its own color group");
 
         Comm {
-            ep: Rc::clone(&self.ep),
-            stats: Rc::clone(&self.stats),
-            arena: Rc::clone(&self.arena),
-            members,
-            rank,
-            comm_id: splitmix64(
-                self.comm_id ^ (child_index << 40) ^ ((color as u64) << 8) ^ 0x5eed,
-            ),
+            core: CommCore {
+                ep: Rc::clone(&self.core.ep),
+                stats: Rc::clone(&self.core.stats),
+                arena: Rc::clone(&self.core.arena),
+                members,
+                rank,
+                comm_id: splitmix64(
+                    self.core.comm_id ^ (child_index << 40) ^ ((color as u64) << 8) ^ 0x5eed,
+                ),
+            },
             seq: Cell::new(0),
             children: Cell::new(0),
         }

@@ -33,11 +33,13 @@
 pub mod collectives;
 pub mod comm;
 pub mod model;
+pub mod pending;
 pub mod stats;
 mod transport;
 pub mod universe;
 
 pub use comm::Comm;
 pub use model::CostModel;
+pub use pending::PendingOp;
 pub use stats::{CommStats, Op, OpStats};
 pub use universe::{run, RankResult};

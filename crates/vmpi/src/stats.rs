@@ -72,8 +72,17 @@ pub struct OpStats {
     /// `f64` words this rank sent.
     pub words: u64,
     /// Wall-clock time this rank spent inside the operation (including
-    /// blocking on peers).
+    /// blocking on peers). For split-phase ops this is post time plus
+    /// wait time — the overlap window in between is *not* charged.
     pub time: Duration,
+    /// Split-phase (post/wait) invocations of this operation.
+    pub posts: u64,
+    /// Wall-clock between a post returning and its wait starting: the
+    /// window in which compute actually ran while the op was in flight.
+    pub overlap: Duration,
+    /// Wall-clock from post begin to wait end: total time the op was in
+    /// flight (`time + overlap` for split-phase ops).
+    pub inflight: Duration,
 }
 
 /// All counters for one rank.
@@ -95,6 +104,19 @@ impl CommStats {
 
     pub(crate) fn record_time(&mut self, op: Op, t: Duration) {
         self.per_op[op.idx()].time += t;
+    }
+
+    /// Charges one split-phase post.
+    pub(crate) fn record_post(&mut self, op: Op) {
+        self.per_op[op.idx()].posts += 1;
+    }
+
+    /// Charges a completed split-phase wait: `overlap` is the post→wait
+    /// window, `inflight` the full post-begin→wait-end span.
+    pub(crate) fn record_split_wait(&mut self, op: Op, overlap: Duration, inflight: Duration) {
+        let s = &mut self.per_op[op.idx()];
+        s.overlap += overlap;
+        s.inflight += inflight;
     }
 
     /// Counters for one operation class.
@@ -124,6 +146,9 @@ impl CommStats {
             a.messages += b.messages;
             a.words += b.words;
             a.time += b.time;
+            a.posts += b.posts;
+            a.overlap += b.overlap;
+            a.inflight += b.inflight;
         }
     }
 
@@ -134,6 +159,9 @@ impl CommStats {
             a.messages = a.messages.max(b.messages);
             a.words = a.words.max(b.words);
             a.time = a.time.max(b.time);
+            a.posts = a.posts.max(b.posts);
+            a.overlap = a.overlap.max(b.overlap);
+            a.inflight = a.inflight.max(b.inflight);
         }
     }
 
@@ -146,8 +174,26 @@ impl CommStats {
             o.messages = self.per_op[i].messages - earlier.per_op[i].messages;
             o.words = self.per_op[i].words - earlier.per_op[i].words;
             o.time = self.per_op[i].time.saturating_sub(earlier.per_op[i].time);
+            o.posts = self.per_op[i].posts - earlier.per_op[i].posts;
+            o.overlap = self.per_op[i]
+                .overlap
+                .saturating_sub(earlier.per_op[i].overlap);
+            o.inflight = self.per_op[i]
+                .inflight
+                .saturating_sub(earlier.per_op[i].inflight);
         }
         out
+    }
+
+    /// Total wall-clock of compute hidden behind in-flight split-phase
+    /// collectives (sum of post→wait windows across ops).
+    pub fn total_overlap(&self) -> Duration {
+        self.per_op.iter().map(|s| s.overlap).sum()
+    }
+
+    /// Total split-phase posts across ops.
+    pub fn total_posts(&self) -> u64 {
+        self.per_op.iter().map(|s| s.posts).sum()
     }
 }
 
