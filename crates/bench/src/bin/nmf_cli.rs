@@ -12,8 +12,11 @@
 //!
 //! # long job with durable checkpoints, resumable after a crash
 //! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --k 10 \
-//!     --checkpoint run.ckpt --checkpoint-every 5
+//!     --checkpoint run.ckpt --checkpoint-every 5 --checkpoint-keep 3
 //! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --resume run.ckpt
+//!
+//! # what's inside a checkpoint, without loading the factors
+//! cargo run --release -p nmf_bench --bin nmf_cli -- checkpoints inspect run.ckpt
 //! ```
 //!
 //! `--json` replaces the human-readable report with one JSON object per
@@ -30,6 +33,7 @@
 //! accumulated and reported once (as [`NmfError::InvalidArgs`]) together
 //! with the usage text, instead of exiting at the first bad flag.
 
+use hpc_nmf::inspect_checkpoint;
 use hpc_nmf::prelude::*;
 
 use nmf_data::DatasetKind;
@@ -56,6 +60,7 @@ struct Args {
     no_overlap: bool,
     checkpoint: Option<PathBuf>,
     checkpoint_every: Option<usize>,
+    checkpoint_keep: Option<usize>,
     resume: Option<PathBuf>,
 }
 
@@ -169,6 +174,13 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
                     &mut errors,
                 )
             }
+            "--checkpoint-keep" => {
+                args.checkpoint_keep = parse_num(
+                    val("--checkpoint-keep", &mut errors),
+                    "--checkpoint-keep",
+                    &mut errors,
+                )
+            }
             "--resume" => args.resume = val("--resume", &mut errors).map(PathBuf::from),
             "--help" | "-h" => {
                 print_help();
@@ -184,6 +196,9 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
     }
     if args.checkpoint_every == Some(0) {
         errors.push("--checkpoint-every must be >= 1".into());
+    }
+    if args.checkpoint_keep.is_some() && args.checkpoint.is_none() && args.resume.is_none() {
+        errors.push("--checkpoint-keep needs --checkpoint FILE (or --resume FILE)".into());
     }
     if args.resume.is_some() && args.ks.as_ref().is_some_and(|ks| ks.len() > 1) {
         errors.push("--resume continues one run; it cannot be combined with a --k sweep".into());
@@ -242,7 +257,14 @@ fn print_help() {
          durability:\n\
          \x20 --checkpoint FILE       write a checkpoint when the run finishes\n\
          \x20 --checkpoint-every N    also write FILE every N iterations\n\
-         \x20 --resume FILE           continue an interrupted run from FILE"
+         \x20 --checkpoint-keep N     keep the last N superseded checkpoints as\n\
+         \x20                         FILE.1 .. FILE.N (default 0: overwrite)\n\
+         \x20 --resume FILE           continue an interrupted run from FILE\n\
+         \n\
+         tooling:\n\
+         \x20 checkpoints inspect FILE   print a checkpoint's versioned header\n\
+         \x20                            (shape, k, algo, grid, fingerprint,\n\
+         \x20                            iteration, checksum) without loading factors"
     );
 }
 
@@ -283,8 +305,67 @@ fn load_input(args: &Args) -> Result<Input, NmfError> {
     }
 }
 
+/// `nmf_cli checkpoints inspect FILE`: the versioned header, fingerprint
+/// and checksum verdict of a checkpoint, without loading the factors.
+fn run_checkpoints(argv: &[String]) -> Result<(), NmfError> {
+    let usage = || NmfError::InvalidArgs {
+        errors: vec!["usage: nmf_cli checkpoints inspect FILE".into()],
+    };
+    let [sub, path] = argv else {
+        return Err(usage());
+    };
+    if sub != "inspect" {
+        return Err(usage());
+    }
+    let path = Path::new(path);
+    let s = inspect_checkpoint(path)?;
+    let meta = &s.meta;
+    println!("{}", path.display());
+    println!("  format version: {}", s.version);
+    println!(
+        "  input:          {}x{} on {} ranks, grid {}x{}",
+        meta.m, meta.n, meta.ranks, meta.grid.pr, meta.grid.pc
+    );
+    println!(
+        "  run:            {} k={} solver {:?} seed {}",
+        meta.algo.name(),
+        meta.config.k,
+        meta.config.solver,
+        meta.config.seed
+    );
+    println!(
+        "  progress:       iteration {}/{}, objective {:.6e}, {:.2?} elapsed",
+        s.iterations_done, meta.config.max_iters, s.objective, s.elapsed
+    );
+    println!(
+        "  factors:        W {}x{}, Ht {}x{} (payloads skipped)",
+        s.w_shape.0, s.w_shape.1, s.ht_shape.0, s.ht_shape.1
+    );
+    println!("  fingerprint:    {:#018x}", s.fingerprint);
+    println!(
+        "  checksum:       {} ({} bytes)",
+        if s.checksum_ok {
+            "ok"
+        } else {
+            "FAILED — payload damaged, resume will refuse this file"
+        },
+        s.file_bytes
+    );
+    if !s.checksum_ok {
+        exit(1);
+    }
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "checkpoints") {
+        if let Err(e) = run_checkpoints(&argv[1..]) {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+        return;
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(errors) => {
@@ -442,6 +523,7 @@ fn drive_and_report(
     ckpt: Option<&Path>,
 ) -> Result<(), NmfError> {
     let every = args.checkpoint_every.unwrap_or(0);
+    let keep = args.checkpoint_keep.unwrap_or(0);
     let limit = model.config().max_iters;
     let t0 = Instant::now();
     let stop = loop {
@@ -451,7 +533,7 @@ fn drive_and_report(
         model.step();
         if every > 0 && model.iterations().is_multiple_of(every) {
             if let Some(path) = ckpt {
-                model.save(path)?;
+                model.save_rotated(path, keep)?;
             }
         }
         if let Some(r) = model.stop_reason() {
@@ -460,7 +542,7 @@ fn drive_and_report(
     };
     let wall = t0.elapsed();
     if let Some(path) = ckpt {
-        model.save(path)?;
+        model.save_rotated(path, keep)?;
         if !args.json {
             println!("checkpoint written to {}", path.display());
         }
@@ -633,6 +715,14 @@ mod tests {
     fn missing_value_is_reported() {
         let errs = parse_args(&argv("--dataset")).expect_err("invalid");
         assert!(errs.iter().any(|e| e.contains("missing value")));
+    }
+
+    #[test]
+    fn checkpoint_keep_requires_a_path() {
+        let errs = parse_args(&argv("--checkpoint-keep 3")).expect_err("invalid");
+        assert!(errs[0].contains("--checkpoint FILE"));
+        assert!(parse_args(&argv("--checkpoint f.ckpt --checkpoint-keep 3")).is_ok());
+        assert!(parse_args(&argv("--resume f.ckpt --checkpoint-keep 3")).is_ok());
     }
 
     #[test]

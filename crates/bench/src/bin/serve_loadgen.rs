@@ -1,0 +1,321 @@
+//! Load generator for the `nmf_serve` multi-tenant serving layer.
+//!
+//! Embeds a server (in-process channel transport, so the measurement is
+//! of the serving core, not socket syscalls), drives N concurrent
+//! tenants from N client threads, and records per-tenant throughput plus
+//! request-latency percentiles into a JSON report.
+//!
+//! ```sh
+//! cargo run --release -p nmf_bench --bin serve_loadgen            # full run
+//! cargo run --release -p nmf_bench --bin serve_loadgen -- --out BENCH_PR8.json
+//! NMF_LOADGEN_QUICK=1 cargo run -p nmf_bench --bin serve_loadgen  # CI smoke
+//! ```
+//!
+//! Each tenant submits a burst of identical jobs, then polls status
+//! round-robin until all of its jobs finish, fetching factors at the
+//! end. Every request's wall time is recorded; the report carries
+//! p50/p95/p99/max per tenant and aggregate, plus the fairness spread
+//! (max/min completed steps across tenants), which the scheduler's
+//! per-tenant budget should keep near 1.
+
+use nmf_serve::prelude::*;
+use std::time::{Duration, Instant};
+
+struct LoadConfig {
+    tenants: usize,
+    jobs_per_tenant: usize,
+    iters_per_job: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+impl LoadConfig {
+    fn from_env() -> LoadConfig {
+        if std::env::var("NMF_LOADGEN_QUICK").is_ok() {
+            LoadConfig {
+                tenants: 8,
+                jobs_per_tenant: 1,
+                iters_per_job: 4,
+                m: 24,
+                n: 16,
+                k: 3,
+            }
+        } else {
+            LoadConfig {
+                tenants: 8,
+                jobs_per_tenant: 4,
+                iters_per_job: 30,
+                m: 96,
+                n: 64,
+                k: 6,
+            }
+        }
+    }
+}
+
+struct TenantResult {
+    tenant: String,
+    requests: u64,
+    jobs_finished: u64,
+    steps_completed: u64,
+    wall: Duration,
+    latencies_us: Vec<u64>,
+}
+
+fn spec(cfg: &LoadConfig, seed: u64) -> JobSpec {
+    JobSpec {
+        source: JobSource::Dense {
+            m: cfg.m,
+            n: cfg.n,
+            data: (0..cfg.m * cfg.n)
+                .map(|i| ((i as u64 * 31 + seed * 7 + 3) % 17) as f64 + 0.5)
+                .collect(),
+        },
+        k: cfg.k,
+        ranks: 1,
+        algo: hpc_nmf::harness::Algo::Sequential,
+        solver: nmf_nls::SolverKind::Bpp,
+        max_iters: cfg.iters_per_job,
+        seed,
+        tol: None,
+    }
+}
+
+/// One tenant's whole session: submit a burst, poll to completion,
+/// fetch factors, read final stats. Every round trip is timed.
+fn tenant_session(
+    tenant: String,
+    connector: ChannelConnector,
+    cfg: &LoadConfig,
+) -> Result<TenantResult, ServeError> {
+    let mut client = Client::new(Box::new(connector.connect()?));
+    let mut latencies_us = Vec::new();
+    let mut requests = 0u64;
+    let t0 = Instant::now();
+    let mut timed = |f: &mut dyn FnMut(&mut Client) -> Result<(), ServeError>,
+                     client: &mut Client|
+     -> Result<(), ServeError> {
+        let rt = Instant::now();
+        f(client)?;
+        latencies_us.push(rt.elapsed().as_micros() as u64);
+        requests += 1;
+        Ok(())
+    };
+
+    let mut jobs = Vec::new();
+    for j in 0..cfg.jobs_per_tenant {
+        let spec = spec(cfg, j as u64 + 1);
+        timed(
+            &mut |c| {
+                jobs.push(c.submit(&tenant, &spec)?);
+                Ok(())
+            },
+            &mut client,
+        )?;
+    }
+
+    // Poll jobs round-robin until all settle.
+    let mut open: Vec<u64> = jobs.clone();
+    while !open.is_empty() {
+        let mut still_open = Vec::new();
+        for &job in &open {
+            let mut live = false;
+            timed(
+                &mut |c| {
+                    let st = c.status(&tenant, job)?;
+                    live = matches!(st.phase, JobPhase::Queued | JobPhase::Running);
+                    Ok(())
+                },
+                &mut client,
+            )?;
+            if live {
+                still_open.push(job);
+            }
+        }
+        open = still_open;
+        if !open.is_empty() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    for &job in &jobs {
+        timed(
+            &mut |c| {
+                let (w, h) = c.factors(&tenant, job)?;
+                assert_eq!(w.shape(), (cfg.m, cfg.k));
+                assert_eq!(h.shape(), (cfg.k, cfg.n));
+                Ok(())
+            },
+            &mut client,
+        )?;
+    }
+    let report = client.tenant_stats(&tenant)?;
+    let wall = t0.elapsed();
+    Ok(TenantResult {
+        tenant,
+        requests,
+        jobs_finished: report.jobs_finished,
+        steps_completed: report.steps_completed,
+        wall,
+        latencies_us,
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_json(latencies: &mut [u64]) -> String {
+    latencies.sort_unstable();
+    format!(
+        "{{\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"count\":{}}}",
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.95),
+        percentile(latencies, 0.99),
+        latencies.last().copied().unwrap_or(0),
+        latencies.len()
+    )
+}
+
+fn main() {
+    let cfg = LoadConfig::from_env();
+    let out_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut out = "BENCH_PR8.json".to_string();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--out" => {
+                    out = it.next().cloned().unwrap_or_else(|| {
+                        eprintln!("error: missing value for --out");
+                        std::process::exit(2);
+                    })
+                }
+                other => {
+                    eprintln!("error: unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    let (listener, connector) = channel_listener();
+    let server = Server::new(ServerConfig {
+        default_quota: TenantQuota {
+            max_concurrent_jobs: cfg.jobs_per_tenant,
+            steps_per_quantum: 8,
+            ..TenantQuota::default()
+        },
+        ..ServerConfig::default()
+    });
+    let core = std::thread::spawn(move || server.run(Box::new(listener)).expect("serve"));
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..cfg.tenants)
+        .map(|i| {
+            let tenant = format!("tenant-{i:02}");
+            let connector = connector.clone();
+            let cfg = LoadConfig {
+                ..LoadConfig::from_env()
+            };
+            std::thread::spawn(move || tenant_session(tenant, connector, &cfg))
+        })
+        .collect();
+    let mut results: Vec<TenantResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread").expect("tenant session"))
+        .collect();
+    let bench_wall = t0.elapsed();
+
+    // Shut the server down and collect its counters.
+    let mut admin = Client::new(Box::new(connector.connect().expect("dial")));
+    admin.shutdown().expect("shutdown");
+    let stats = core.join().expect("core thread");
+
+    results.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    let total_steps: u64 = results.iter().map(|r| r.steps_completed).sum();
+    let total_requests: u64 = results.iter().map(|r| r.requests).sum();
+    let max_steps = results.iter().map(|r| r.steps_completed).max().unwrap_or(0);
+    let min_steps = results.iter().map(|r| r.steps_completed).min().unwrap_or(0);
+
+    let mut all_latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"bench\": \"serve_loadgen\",\n  \"tenants\": {},\n  \"jobs_per_tenant\": {},\n  \
+         \"iters_per_job\": {},\n  \"input\": [{}, {}],\n  \"k\": {},\n",
+        cfg.tenants, cfg.jobs_per_tenant, cfg.iters_per_job, cfg.m, cfg.n, cfg.k
+    ));
+    s.push_str(&format!(
+        "  \"wall_seconds\": {:.6},\n  \"total_requests\": {},\n  \"total_steps\": {},\n  \
+         \"server\": {{\"quanta\": {}, \"connections\": {}, \"jobs_finished\": {}}},\n",
+        bench_wall.as_secs_f64(),
+        total_requests,
+        total_steps,
+        stats.quanta,
+        stats.connections,
+        stats.jobs_finished
+    ));
+    s.push_str(&format!(
+        "  \"fairness\": {{\"max_steps\": {max_steps}, \"min_steps\": {min_steps}, \
+         \"spread\": {:.4}}},\n",
+        if min_steps > 0 {
+            max_steps as f64 / min_steps as f64
+        } else {
+            f64::INFINITY
+        }
+    ));
+    s.push_str(&format!(
+        "  \"latency\": {},\n  \"per_tenant\": [\n",
+        latency_json(&mut all_latencies)
+    ));
+    let n_results = results.len();
+    for (i, r) in results.iter_mut().enumerate() {
+        s.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"requests\": {}, \"jobs_finished\": {}, \
+             \"steps\": {}, \"wall_seconds\": {:.6}, \"requests_per_second\": {:.1}, \
+             \"latency\": {}}}{}\n",
+            r.tenant,
+            r.requests,
+            r.jobs_finished,
+            r.steps_completed,
+            r.wall.as_secs_f64(),
+            r.requests as f64 / r.wall.as_secs_f64().max(1e-9),
+            latency_json(&mut r.latencies_us),
+            if i + 1 < n_results { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &s).expect("write report");
+    println!("{s}");
+    println!("report written to {out_path}");
+
+    // Sanity gates so CI fails loudly instead of publishing nonsense.
+    assert_eq!(
+        results.len(),
+        cfg.tenants,
+        "every tenant must finish its session"
+    );
+    for r in &results {
+        assert_eq!(
+            r.jobs_finished, cfg.jobs_per_tenant as u64,
+            "{}: all jobs must finish",
+            r.tenant
+        );
+    }
+    assert!(
+        min_steps > 0 && max_steps as f64 / min_steps as f64 <= 2.0,
+        "fairness spread above 2x: max {max_steps}, min {min_steps}"
+    );
+}

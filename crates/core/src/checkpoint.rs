@@ -230,6 +230,182 @@ pub fn write_checkpoint(path: &Path, ck: &Checkpoint) -> Result<(), NmfError> {
     std::fs::rename(&tmp, path).map_err(io)
 }
 
+/// [`write_checkpoint`] with rotation: before the new file lands at
+/// `path`, existing generations shift one slot down the chain
+/// `path → path.1 → path.2 → … → path.keep` (the oldest falls off), so
+/// the last `keep` superseded checkpoints stay recoverable — insurance
+/// against a run that goes numerically bad *between* checkpoints, where
+/// overwrite-in-place would have destroyed the only good state.
+///
+/// Every shift is a same-directory rename and the final write is the
+/// usual temp-file + rename, so each generation is atomically either its
+/// old content or its new one; `keep == 0` is plain [`write_checkpoint`].
+pub fn write_checkpoint_rotated(path: &Path, ck: &Checkpoint, keep: usize) -> Result<(), NmfError> {
+    let io = |p: &Path| {
+        let p = p.to_path_buf();
+        move |source| NmfError::Io { path: p, source }
+    };
+    if keep > 0 && path.exists() {
+        for i in (1..=keep).rev() {
+            let from = if i == 1 {
+                path.to_path_buf()
+            } else {
+                rotated_name(path, i - 1)
+            };
+            if from.exists() {
+                let to = rotated_name(path, i);
+                std::fs::rename(&from, &to).map_err(io(&from))?;
+            }
+        }
+    }
+    write_checkpoint(path, ck)
+}
+
+/// `path` with a rotation generation suffix: `run.ckpt` → `run.ckpt.3`.
+fn rotated_name(path: &Path, generation: usize) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{generation}"));
+    path.with_file_name(name)
+}
+
+/// Everything `inspect_checkpoint` learns from a checkpoint's header and
+/// trailer without materializing the factor matrices.
+#[derive(Clone, Debug)]
+pub struct CheckpointSummary {
+    /// Format version of the file.
+    pub version: u32,
+    /// The full recorded metadata (shape, grid, algorithm, config).
+    pub meta: CheckpointMeta,
+    /// The config fingerprint stored in the file (verified against the
+    /// meta block it covers).
+    pub fingerprint: u64,
+    /// Iterations completed when the checkpoint was taken.
+    pub iterations_done: usize,
+    /// Objective at the checkpoint.
+    pub objective: f64,
+    /// Wall-clock time recorded by the run so far.
+    pub elapsed: Duration,
+    /// Shapes of the stored factor blocks (`W`, then `Hᵀ`), from their
+    /// headers only — the payloads are skipped, not decoded.
+    pub w_shape: (usize, usize),
+    pub ht_shape: (usize, usize),
+    /// Whether the whole-file checksum verified. `false` means the
+    /// payload is damaged even though the header still parsed; a full
+    /// [`read_checkpoint`] of this file would fail.
+    pub checksum_ok: bool,
+    /// Total file size in bytes.
+    pub file_bytes: usize,
+}
+
+/// Reads a checkpoint's versioned header — shape, rank `k`, algorithm,
+/// grid, fingerprint, iteration count, checksum status — **without
+/// loading the factors** (their payload bytes are skipped, never parsed
+/// into matrices). This is the cheap pre-flight for tooling: a corrupted
+/// *payload* is reported as `checksum_ok: false` in the summary rather
+/// than an error, so an operator can still see what the damaged file
+/// claimed to be; a header that itself fails to parse is an error.
+pub fn inspect_checkpoint(path: &Path) -> Result<CheckpointSummary, NmfError> {
+    let io = |source| NmfError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let corrupt = |reason: String| NmfError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io)?
+        .read_to_end(&mut bytes)
+        .map_err(io)?;
+    summarize(&bytes).map_err(|e| match e {
+        DecodeError::Corrupt(reason) => corrupt(reason),
+        DecodeError::Version(found) => NmfError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found,
+            supported: FORMAT_VERSION,
+        },
+        DecodeError::Fingerprint { expected, found } => {
+            NmfError::FingerprintMismatch { expected, found }
+        }
+        DecodeError::Shape {
+            field,
+            expected,
+            found,
+        } => NmfError::CheckpointMismatch {
+            field,
+            expected,
+            found,
+        },
+    })
+}
+
+fn summarize(bytes: &[u8]) -> Result<CheckpointSummary, DecodeError> {
+    let corrupt = |s: &str| DecodeError::Corrupt(s.to_string());
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(corrupt("file shorter than the header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic (not an NMF checkpoint)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::Version(version));
+    }
+    if bytes.len() < 8 + 4 + 8 + 8 {
+        return Err(corrupt("truncated before the meta block"));
+    }
+    let body_len = bytes.len() - 8;
+    let stored_sum = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    let checksum_ok = fnv1a(&bytes[..body_len]) == stored_sum;
+
+    let mut r = Cursor {
+        bytes: &bytes[..body_len],
+        pos: 12,
+    };
+    let meta_len = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    let meta_bytes = r.take(meta_len).map_err(DecodeError::Corrupt)?.to_vec();
+    let mut mr = Cursor {
+        bytes: &meta_bytes,
+        pos: 0,
+    };
+    let meta = CheckpointMeta::decode(&mut mr).map_err(DecodeError::Corrupt)?;
+    let stored_fp = r.u64().map_err(DecodeError::Corrupt)?;
+    let actual_fp = fnv1a(&meta_bytes);
+    if stored_fp != actual_fp {
+        return Err(DecodeError::Fingerprint {
+            expected: actual_fp,
+            found: stored_fp,
+        });
+    }
+
+    let objective = r.f64().map_err(DecodeError::Corrupt)?;
+    let _first = r.opt_f64().map_err(DecodeError::Corrupt)?;
+    let iterations_done = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    let hist_len = r.u64().map_err(DecodeError::Corrupt)? as usize;
+    if hist_len > body_len {
+        return Err(corrupt("objective history longer than the file"));
+    }
+    r.take(8 * hist_len).map_err(DecodeError::Corrupt)?;
+    let elapsed = Duration::from_nanos(r.u64().map_err(DecodeError::Corrupt)?);
+
+    let w_shape = r.skip_mat().map_err(DecodeError::Corrupt)?;
+    let ht_shape = r.skip_mat().map_err(DecodeError::Corrupt)?;
+
+    Ok(CheckpointSummary {
+        version,
+        meta,
+        fingerprint: stored_fp,
+        iterations_done,
+        objective,
+        elapsed,
+        w_shape,
+        ht_shape,
+        checksum_ok,
+        file_bytes: bytes.len(),
+    })
+}
+
 /// Reads and validates a checkpoint from `path`: magic, version, config
 /// fingerprint, internal shape consistency, and whole-file checksum.
 pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, NmfError> {
@@ -528,6 +704,24 @@ impl<'a> Cursor<'a> {
         }
         Ok(Mat::from_vec(nr, nc, data))
     }
+
+    /// Reads a factor block's header and skips its payload (same bounds
+    /// checks as [`mat`](Self::mat), no allocation). Returns the shape.
+    fn skip_mat(&mut self) -> Result<(usize, usize), String> {
+        let nr = self.u64()? as usize;
+        let nc = self.u64()? as usize;
+        let words = nr
+            .checked_mul(nc)
+            .filter(|&w| w <= self.remaining() / 8)
+            .ok_or_else(|| {
+                format!(
+                    "factor block claims {nr}x{nc} values but only {} bytes remain",
+                    self.remaining()
+                )
+            })?;
+        self.take(8 * words)?;
+        Ok((nr, nc))
+    }
 }
 
 /// 64-bit FNV-1a over `bytes`.
@@ -633,6 +827,67 @@ mod tests {
             decode(&bytes, Path::new("mem")),
             Err(DecodeError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn summary_reads_header_and_flags_payload_damage() {
+        let ck = sample();
+        let bytes = encode(&ck);
+        let s = summarize(&bytes).ok().expect("summarizes");
+        assert_eq!(s.version, FORMAT_VERSION);
+        assert_eq!((s.meta.m, s.meta.n), (12, 9));
+        assert_eq!(s.meta.config.k, 3);
+        assert_eq!(s.iterations_done, 3);
+        assert_eq!(s.w_shape, (12, 3));
+        assert_eq!(s.ht_shape, (9, 3));
+        assert_eq!(s.fingerprint, ck.meta.fingerprint());
+        assert!(s.checksum_ok);
+
+        // Flip a byte inside the W payload: the header still parses,
+        // the summary reports the damage instead of erroring.
+        let mut damaged = bytes.clone();
+        let off = damaged.len() - 16; // inside Ht payload, before checksum
+        damaged[off] ^= 0x01;
+        let s = summarize(&damaged).ok().expect("header intact");
+        assert!(!s.checksum_ok);
+
+        // A damaged *header* (meta block) is an error, not a summary.
+        let mut bad_meta = bytes.clone();
+        bad_meta[20] ^= 0xff;
+        assert!(summarize(&bad_meta).is_err());
+    }
+
+    #[test]
+    fn rotation_keeps_a_bounded_history() {
+        let dir = std::env::temp_dir().join(format!("nmf-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("run.ckpt");
+        let mut ck = sample();
+        for gen in 0..5 {
+            ck.state.iterations_done = gen;
+            write_checkpoint_rotated(&path, &ck, 2).expect("write");
+        }
+        // Newest at `path`, two generations behind it, nothing older.
+        let newest = read_checkpoint(&path).expect("newest");
+        assert_eq!(newest.state.iterations_done, 4);
+        let g1 = read_checkpoint(&rotated_name(&path, 1)).expect("gen 1");
+        assert_eq!(g1.state.iterations_done, 3);
+        let g2 = read_checkpoint(&rotated_name(&path, 2)).expect("gen 2");
+        assert_eq!(g2.state.iterations_done, 2);
+        assert!(!rotated_name(&path, 3).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_depth_zero_is_plain_overwrite() {
+        let dir = std::env::temp_dir().join(format!("nmf-rot0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("run.ckpt");
+        let ck = sample();
+        write_checkpoint_rotated(&path, &ck, 0).expect("write");
+        write_checkpoint_rotated(&path, &ck, 0).expect("overwrite");
+        assert!(!rotated_name(&path, 1).exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -101,7 +101,9 @@ pub mod seq;
 pub mod session;
 pub mod workspace;
 
-pub use checkpoint::{Checkpoint, CheckpointMeta};
+pub use checkpoint::{
+    inspect_checkpoint, write_checkpoint_rotated, Checkpoint, CheckpointMeta, CheckpointSummary,
+};
 pub use config::{
     init_ht, init_w, ConvergencePolicy, IterRecord, NmfConfig, NmfOutput, StopReason, TaskTimes,
 };
@@ -112,7 +114,7 @@ pub use error::NmfError;
 pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
-pub use session::{Model, Nmf, NmfBuilder};
+pub use session::{Model, Nmf, NmfBuilder, StepProgress};
 pub use workspace::IterWorkspace;
 
 /// Everything needed for typical use.
@@ -122,6 +124,6 @@ pub mod prelude {
     pub use crate::grid::Grid;
     pub use crate::harness::{factorize, Algo};
     pub use crate::input::Input;
-    pub use crate::session::{Model, Nmf, NmfBuilder};
+    pub use crate::session::{Model, Nmf, NmfBuilder, StepProgress};
     pub use nmf_nls::SolverKind;
 }

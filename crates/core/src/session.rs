@@ -52,7 +52,9 @@
 //! restarts the same universe on a new configuration (e.g. the next `k`
 //! of a rank sweep) without respawning threads or re-sharding the data.
 
-use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CheckpointMeta};
+use crate::checkpoint::{
+    read_checkpoint, write_checkpoint, write_checkpoint_rotated, Checkpoint, CheckpointMeta,
+};
 use crate::config::{
     init_ht, init_w, ConvergencePolicy, IterRecord, NmfConfig, NmfOutput, StopReason, TaskTimes,
 };
@@ -532,6 +534,20 @@ struct WorkerHandle {
     reply: mpsc::Receiver<Reply>,
 }
 
+/// What a bounded [`Model::step_up_to`] slice accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct StepProgress {
+    /// Iterations actually executed in this slice (`< n` iff the model
+    /// finished mid-slice or had already finished).
+    pub steps_run: usize,
+    /// Total iterations of the model after the slice.
+    pub iterations: usize,
+    /// Objective after the slice.
+    pub objective: f64,
+    /// The stop condition, if the run is over.
+    pub stop: Option<StopReason>,
+}
+
 /// A live factorization session: the object-safe, `Send` handle the
 /// builder produces. See the [module docs](self) for the design.
 ///
@@ -749,6 +765,60 @@ impl Model {
         self.records.last().expect("just pushed")
     }
 
+    /// Runs **at most** `n` collective iterations, stopping early at the
+    /// convergence policy or the `max_iters` cap, and reports how far it
+    /// got. Unlike [`run`](Self::run) this never drives to completion:
+    /// it is the scheduling primitive for serving loops that interleave
+    /// many models on one machine — grant a model a bounded slice of
+    /// engine time, observe its progress, move to the next model.
+    ///
+    /// Reaching the `max_iters` cap here records
+    /// [`StopReason::MaxIters`], exactly as [`run`](Self::run) would, so
+    /// [`is_finished`](Self::is_finished) flips without the caller ever
+    /// blocking for the rest of the run.
+    pub fn step_up_to(&mut self, n: usize) -> StepProgress {
+        let mut steps_run = 0;
+        while steps_run < n && !self.is_finished() {
+            self.step();
+            steps_run += 1;
+        }
+        if self.stop.is_none() && self.iterations() >= self.config.max_iters {
+            self.stop = Some(StopReason::MaxIters);
+        }
+        StepProgress {
+            steps_run,
+            iterations: self.iterations(),
+            objective: self.objective(),
+            stop: self.stop,
+        }
+    }
+
+    /// Whether this model has nothing left to do: a stop condition fired
+    /// or the iteration cap is spent. Purely local bookkeeping — no
+    /// worker round-trip — so schedulers can poll it per quantum.
+    pub fn is_finished(&self) -> bool {
+        self.stop.is_some() || self.iterations() >= self.config.max_iters
+    }
+
+    /// Iterations left under the `max_iters` cap (0 when
+    /// [`is_finished`](Self::is_finished); stop conditions can end the
+    /// run earlier).
+    pub fn remaining_iters(&self) -> usize {
+        if self.stop.is_some() {
+            return 0;
+        }
+        self.config.max_iters.saturating_sub(self.iterations())
+    }
+
+    /// Bytes of factor state this session keeps resident: one assembled
+    /// copy of `W` (`m×k`) and `Hᵀ` (`n×k`) distributed across its rank
+    /// threads. The admission-control currency of the serving layer
+    /// (input blocks and iteration workspaces are excluded — they scale
+    /// the same way and the quota is a budget, not an audit).
+    pub fn factor_bytes(&self) -> usize {
+        8 * (self.m + self.n) * self.config.k
+    }
+
     /// Drives [`step`](Self::step) until the configured convergence
     /// policy stops or `max_iters` total iterations (including any from
     /// before a resume) have run.
@@ -867,6 +937,21 @@ impl Model {
             ht,
         };
         write_checkpoint(path.as_ref(), &ck)
+    }
+
+    /// [`save`](Self::save) with a bounded history: before the new
+    /// checkpoint lands at `path`, prior generations shift down the
+    /// chain `path → path.1 → … → path.keep` (see
+    /// [`write_checkpoint_rotated`]). `keep == 0` behaves like `save`.
+    pub fn save_rotated(&self, path: impl AsRef<Path>, keep: usize) -> Result<(), NmfError> {
+        let (w, ht, state, _) = self.snapshot();
+        let ck = Checkpoint {
+            meta: self.meta(),
+            state,
+            w,
+            ht,
+        };
+        write_checkpoint_rotated(path.as_ref(), &ck, keep)
     }
 
     /// Reconstructs a model from a checkpoint written by

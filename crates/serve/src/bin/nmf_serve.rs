@@ -1,0 +1,177 @@
+//! The serving daemon: binds a Unix socket and multiplexes every
+//! connected tenant's NMF jobs onto this process.
+//!
+//! ```sh
+//! cargo run --release -p nmf_serve --bin nmf_serve -- --socket /tmp/nmf.sock
+//! cargo run --release -p nmf_serve --bin nmf_serve -- --socket /tmp/nmf.sock \
+//!     --max-concurrent 2 --steps-per-quantum 8 --max-resident-mb 64
+//! ```
+//!
+//! The process runs until a client sends `shutdown` (see
+//! `nmf_serve_client`). Final run counters go to stdout.
+
+use nmf_serve::prelude::*;
+use std::process::exit;
+
+#[derive(Debug, Default)]
+struct Args {
+    socket: Option<String>,
+    max_concurrent: Option<usize>,
+    max_queued: Option<usize>,
+    max_resident_mb: Option<usize>,
+    steps_per_quantum: Option<usize>,
+    grant_steps: Option<usize>,
+    max_ranks: Option<usize>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
+    let mut args = Args::default();
+    let mut errors = Vec::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str, errors: &mut Vec<String>| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v.clone()),
+                None => {
+                    errors.push(format!("missing value for {name}"));
+                    None
+                }
+            }
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = val("--socket", &mut errors),
+            "--max-concurrent" => {
+                args.max_concurrent = num(val("--max-concurrent", &mut errors), flag, &mut errors)
+            }
+            "--max-queued" => {
+                args.max_queued = num(val("--max-queued", &mut errors), flag, &mut errors)
+            }
+            "--max-resident-mb" => {
+                args.max_resident_mb = num(val("--max-resident-mb", &mut errors), flag, &mut errors)
+            }
+            "--steps-per-quantum" => {
+                args.steps_per_quantum =
+                    num(val("--steps-per-quantum", &mut errors), flag, &mut errors)
+            }
+            "--grant-steps" => {
+                args.grant_steps = num(val("--grant-steps", &mut errors), flag, &mut errors)
+            }
+            "--max-ranks" => {
+                args.max_ranks = num(val("--max-ranks", &mut errors), flag, &mut errors)
+            }
+            "--help" | "-h" => {
+                print_help();
+                exit(0);
+            }
+            other => errors.push(format!("unknown flag {other}")),
+        }
+    }
+    if args.socket.is_none() {
+        errors.push("--socket PATH is required".into());
+    }
+    for (name, v) in [
+        ("--max-concurrent", args.max_concurrent),
+        ("--steps-per-quantum", args.steps_per_quantum),
+        ("--grant-steps", args.grant_steps),
+        ("--max-ranks", args.max_ranks),
+    ] {
+        if v == Some(0) {
+            errors.push(format!("{name} must be >= 1"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(args)
+    } else {
+        Err(errors)
+    }
+}
+
+fn num(v: Option<String>, name: &str, errors: &mut Vec<String>) -> Option<usize> {
+    let v = v?;
+    match v.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            errors.push(format!("{name} expects an integer, got '{v}'"));
+            None
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "nmf_serve — multi-tenant NMF model serving over a Unix socket\n\
+         \n\
+         \x20 --socket PATH           socket to listen on (required)\n\
+         \n\
+         default tenant quota:\n\
+         \x20 --max-concurrent N      running jobs per tenant (default 4)\n\
+         \x20 --max-queued N          waiting jobs beyond that (default 16)\n\
+         \x20 --max-resident-mb N     resident factor MiB per tenant (default 256)\n\
+         \x20 --steps-per-quantum N   engine steps per tenant per quantum (default 16)\n\
+         \n\
+         server policy:\n\
+         \x20 --grant-steps N         steps per scheduler grant (default 4)\n\
+         \x20 --max-ranks N           virtual-rank cap per job (default 8)"
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(errors) => {
+            print_help();
+            for e in &errors {
+                eprintln!("error: {e}");
+            }
+            exit(2);
+        }
+    };
+
+    let defaults = TenantQuota::default();
+    let config = ServerConfig {
+        default_quota: TenantQuota {
+            max_concurrent_jobs: args.max_concurrent.unwrap_or(defaults.max_concurrent_jobs),
+            max_queued_jobs: args.max_queued.unwrap_or(defaults.max_queued_jobs),
+            max_resident_bytes: args
+                .max_resident_mb
+                .map(|mb| mb << 20)
+                .unwrap_or(defaults.max_resident_bytes),
+            steps_per_quantum: args.steps_per_quantum.unwrap_or(defaults.steps_per_quantum),
+        },
+        max_ranks_per_job: args.max_ranks.unwrap_or(8),
+        scheduler: SchedulerConfig {
+            grant_steps: args.grant_steps.unwrap_or(4),
+        },
+        ..ServerConfig::default()
+    };
+
+    let socket = args.socket.expect("validated");
+    let listener = match UnixSocketListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {socket}: {e}");
+            exit(2);
+        }
+    };
+    println!("nmf_serve listening on {socket}");
+
+    match Server::new(config).run(Box::new(listener)) {
+        Ok(stats) => {
+            println!(
+                "served {} requests on {} connections: {} quanta, {} steps, \
+                 {} jobs finished ({} failed)",
+                stats.requests,
+                stats.connections,
+                stats.quanta,
+                stats.steps,
+                stats.jobs_finished,
+                stats.jobs_failed
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}

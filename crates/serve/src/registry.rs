@@ -1,0 +1,513 @@
+//! Tenant sessions and admission control.
+//!
+//! The registry owns every tenant's jobs — each a [`Model`] session (or
+//! a deferred spec waiting for a concurrency slot) — and enforces the
+//! quota model at two points:
+//!
+//! * **submit** (admission): a job is *rejected* with a typed error when
+//!   the tenant is at both its concurrent-job and queue-depth limits
+//!   ([`ServeError::QuotaJobs`]) or when its projected factor residency
+//!   would breach the byte quota ([`ServeError::QuotaBytes`]); otherwise
+//!   it is admitted — *queued* if all concurrency slots are busy.
+//!   Queued jobs reserve their projected bytes immediately, so a flood
+//!   of cheap submits cannot front-run the byte quota.
+//! * **promotion** (build): the scheduler promotes queued jobs into
+//!   running models as slots free up; a spec the session builder rejects
+//!   becomes [`JobPhase::Failed`] with the builder's message — the
+//!   submit path never blocks on dataset generation or thread spawns.
+//!
+//! Finished jobs keep their factors resident (they are what the tenant
+//! came for) but release their concurrency slot; `cancel` both aborts
+//! queued/running jobs and releases finished ones.
+
+use crate::error::ServeError;
+use crate::protocol::{JobPhase, JobSource, JobSpec, JobStatus, TenantReport};
+use hpc_nmf::input::Input;
+use hpc_nmf::prelude::*;
+use nmf_data::DatasetKind;
+use nmf_matrix::Mat;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-tenant admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuota {
+    /// Jobs allowed to hold a running model at once.
+    pub max_concurrent_jobs: usize,
+    /// Jobs allowed to wait for a slot beyond that.
+    pub max_queued_jobs: usize,
+    /// Total factor bytes (running + finished + queued-reserved) the
+    /// tenant may hold resident.
+    pub max_resident_bytes: usize,
+    /// Engine steps this tenant may complete per scheduling quantum —
+    /// the rate limit that keeps one tenant from monopolizing the
+    /// shared thread pool no matter how many jobs it has runnable.
+    pub steps_per_quantum: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_concurrent_jobs: 4,
+            max_queued_jobs: 16,
+            max_resident_bytes: 256 << 20,
+            steps_per_quantum: 16,
+        }
+    }
+}
+
+/// One tenant job: a live model, or a spec waiting to become one.
+pub(crate) struct Job {
+    pub id: u64,
+    pub phase: JobPhase,
+    /// Present while queued; consumed at promotion.
+    pub spec: Option<JobSpec>,
+    /// Present while running or finished.
+    pub model: Option<Model>,
+    /// Factor bytes charged against the tenant's quota (projected while
+    /// queued, exact once built, zero once released).
+    pub bytes: usize,
+    /// Engine steps the scheduler has granted and completed.
+    pub steps_done: u64,
+    pub stop: Option<StopReason>,
+    pub error: Option<String>,
+    /// Iteration cap from the spec (kept for status after release).
+    pub max_iters: u64,
+}
+
+impl Job {
+    fn status(&self) -> JobStatus {
+        let (iterations, objective, rel_error) = match &self.model {
+            Some(m) => (m.iterations() as u64, m.objective(), m.rel_error()),
+            None => (self.steps_done, f64::NAN, f64::NAN),
+        };
+        JobStatus {
+            job: self.id,
+            phase: self.phase,
+            iterations,
+            max_iters: self.max_iters,
+            objective,
+            rel_error,
+            stop: self.stop.map(|s| s.as_str().to_string()),
+            error: self.error.clone(),
+            resident_bytes: self.bytes as u64,
+        }
+    }
+}
+
+/// One tenant: quota, jobs, the admission queue, and the scheduler's
+/// per-tenant bookkeeping.
+pub(crate) struct Tenant {
+    pub quota: TenantQuota,
+    pub jobs: BTreeMap<u64, Job>,
+    /// Admitted jobs waiting for a concurrency slot, FIFO.
+    pub queue: VecDeque<u64>,
+    /// Round-robin rotation for this tenant's running jobs.
+    pub rr_offset: usize,
+    pub steps_completed: u64,
+    pub jobs_submitted: u64,
+    pub jobs_finished: u64,
+}
+
+impl Tenant {
+    fn new(quota: TenantQuota) -> Tenant {
+        Tenant {
+            quota,
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            rr_offset: 0,
+            steps_completed: 0,
+            jobs_submitted: 0,
+            jobs_finished: 0,
+        }
+    }
+
+    pub fn active_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.phase == JobPhase::Running)
+            .count()
+    }
+
+    pub fn resident_bytes(&self) -> usize {
+        self.jobs.values().map(|j| j.bytes).sum()
+    }
+}
+
+/// The serving state: every tenant, every job. Owned by the server's
+/// scheduling thread; never shared.
+pub struct Registry {
+    pub(crate) tenants: BTreeMap<String, Tenant>,
+    default_quota: TenantQuota,
+    /// Server-wide cap on virtual ranks per job (each rank is an OS
+    /// thread; an unchecked spec could ask for thousands).
+    max_ranks_per_job: usize,
+    next_job: u64,
+}
+
+impl Registry {
+    pub fn new(default_quota: TenantQuota, max_ranks_per_job: usize) -> Registry {
+        Registry {
+            tenants: BTreeMap::new(),
+            default_quota,
+            max_ranks_per_job: max_ranks_per_job.max(1),
+            next_job: 1,
+        }
+    }
+
+    /// Pre-registers (or re-configures) a tenant with a specific quota;
+    /// tenants submit under the default quota otherwise.
+    pub fn set_quota(&mut self, tenant: &str, quota: TenantQuota) {
+        self.tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant::new(quota))
+            .quota = quota;
+    }
+
+    /// Admission control: returns `(job id, queued?)` or a typed
+    /// rejection. Never builds the model — that happens at promotion,
+    /// on scheduler time.
+    pub fn submit(&mut self, tenant: &str, spec: JobSpec) -> Result<(u64, bool), ServeError> {
+        if spec.ranks > self.max_ranks_per_job {
+            return Err(ServeError::BuildFailed {
+                job: 0,
+                reason: format!(
+                    "spec requests {} ranks; this server caps jobs at {}",
+                    spec.ranks, self.max_ranks_per_job
+                ),
+            });
+        }
+        let projected = spec
+            .projected_factor_bytes()
+            .ok_or_else(|| ServeError::BuildFailed {
+                job: 0,
+                reason: match &spec.source {
+                    JobSource::Dataset { kind, .. } => {
+                        format!("unknown dataset '{kind}' (expected dsyn | ssyn | video | webbase)")
+                    }
+                    _ => "unresolvable job source".to_string(),
+                },
+            })?;
+        let default_quota = self.default_quota;
+        let t = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant::new(default_quota));
+
+        let resident = t.resident_bytes();
+        if resident + projected > t.quota.max_resident_bytes {
+            return Err(ServeError::QuotaBytes {
+                tenant: tenant.to_string(),
+                resident,
+                requested: projected,
+                limit: t.quota.max_resident_bytes,
+            });
+        }
+        // Jobs in the admission queue will occupy concurrency slots as
+        // they free up, so the slot math counts both: a job must wait
+        // iff everything ahead of it fills the slots, and the tenant is
+        // *rejected* once the wait-list beyond the slots is itself full.
+        let active = t.active_jobs();
+        let slots_taken = active + t.queue.len();
+        let must_queue = slots_taken >= t.quota.max_concurrent_jobs;
+        let overflow = slots_taken.saturating_sub(t.quota.max_concurrent_jobs);
+        if must_queue && overflow >= t.quota.max_queued_jobs {
+            return Err(ServeError::QuotaJobs {
+                tenant: tenant.to_string(),
+                active: slots_taken - overflow,
+                queued: overflow,
+                max_concurrent: t.quota.max_concurrent_jobs,
+                max_queued: t.quota.max_queued_jobs,
+            });
+        }
+
+        let id = self.next_job;
+        self.next_job += 1;
+        let max_iters = spec.max_iters as u64;
+        t.jobs.insert(
+            id,
+            Job {
+                id,
+                phase: JobPhase::Queued,
+                spec: Some(spec),
+                model: None,
+                bytes: projected,
+                steps_done: 0,
+                stop: None,
+                error: None,
+                max_iters,
+            },
+        );
+        t.queue.push_back(id);
+        t.jobs_submitted += 1;
+        Ok((id, must_queue))
+    }
+
+    fn tenant(&self, tenant: &str) -> Result<&Tenant, ServeError> {
+        self.tenants
+            .get(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })
+    }
+
+    fn job_mut(&mut self, tenant: &str, job: u64) -> Result<&mut Job, ServeError> {
+        let t = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        t.jobs.get_mut(&job).ok_or_else(|| ServeError::UnknownJob {
+            tenant: tenant.to_string(),
+            job,
+        })
+    }
+
+    pub fn status(&self, tenant: &str, job: u64) -> Result<JobStatus, ServeError> {
+        let t = self.tenant(tenant)?;
+        let j = t.jobs.get(&job).ok_or_else(|| ServeError::UnknownJob {
+            tenant: tenant.to_string(),
+            job,
+        })?;
+        Ok(j.status())
+    }
+
+    /// The job's current assembled factors `(W, H)` — valid mid-run.
+    pub fn factors(&mut self, tenant: &str, job: u64) -> Result<(Mat, Mat), ServeError> {
+        let j = self.job_mut(tenant, job)?;
+        match &j.model {
+            Some(m) => Ok(m.factors()),
+            None => Err(ServeError::NotStarted { job }),
+        }
+    }
+
+    /// Writes a durable checkpoint of the job to a server-side path.
+    pub fn checkpoint(&mut self, tenant: &str, job: u64, path: &str) -> Result<(), ServeError> {
+        let j = self.job_mut(tenant, job)?;
+        match &j.model {
+            Some(m) => m.save(path).map_err(|e| ServeError::Remote {
+                code: crate::error::ErrorCode::Internal,
+                message: e.to_string(),
+            }),
+            None => Err(ServeError::NotStarted { job }),
+        }
+    }
+
+    /// Cancels a queued/running job or releases a finished one: the
+    /// model (and its rank threads) is dropped and the tenant's byte
+    /// quota credited. The job record remains for status queries.
+    pub fn cancel(&mut self, tenant: &str, job: u64) -> Result<(), ServeError> {
+        let t = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        let j = t.jobs.get_mut(&job).ok_or_else(|| ServeError::UnknownJob {
+            tenant: tenant.to_string(),
+            job,
+        })?;
+        if matches!(j.phase, JobPhase::Queued | JobPhase::Running) {
+            j.phase = JobPhase::Cancelled;
+        }
+        j.model = None;
+        j.spec = None;
+        j.bytes = 0;
+        t.queue.retain(|&q| q != job);
+        Ok(())
+    }
+
+    pub fn tenant_report(&self, tenant: &str) -> Result<TenantReport, ServeError> {
+        let t = self.tenant(tenant)?;
+        Ok(TenantReport {
+            tenant: tenant.to_string(),
+            steps_completed: t.steps_completed,
+            jobs_submitted: t.jobs_submitted,
+            jobs_finished: t.jobs_finished,
+            active_jobs: t.active_jobs() as u64,
+            queued_jobs: t.queue.len() as u64,
+            resident_bytes: t.resident_bytes() as u64,
+        })
+    }
+
+    /// Total engine steps completed per tenant (for fairness checks and
+    /// final reports).
+    pub fn steps_by_tenant(&self) -> BTreeMap<String, u64> {
+        self.tenants
+            .iter()
+            .map(|(name, t)| (name.clone(), t.steps_completed))
+            .collect()
+    }
+
+    /// Whether any tenant has a queued or running (unfinished) job.
+    pub fn has_runnable_work(&self) -> bool {
+        self.tenants.values().any(|t| {
+            !t.queue.is_empty()
+                || t.jobs
+                    .values()
+                    .any(|j| j.phase == JobPhase::Running && !model_done(j))
+        })
+    }
+}
+
+/// Whether a running job's model has reached its end (stop condition or
+/// iteration cap).
+pub(crate) fn model_done(j: &Job) -> bool {
+    j.model.as_ref().is_some_and(|m| m.is_finished())
+}
+
+/// Builds the input matrix a job source describes.
+pub(crate) fn build_input(source: &JobSource) -> Result<Input, String> {
+    match source {
+        JobSource::Dense { m, n, data } => {
+            if data.len() != m * n {
+                return Err(format!(
+                    "dense source claims {m}x{n} but carries {} values",
+                    data.len()
+                ));
+            }
+            Ok(Input::Dense(Mat::from_vec(*m, *n, data.clone())))
+        }
+        JobSource::Dataset { kind, scale, seed } => {
+            let kind = match kind.as_str() {
+                "dsyn" => DatasetKind::Dsyn,
+                "ssyn" => DatasetKind::Ssyn,
+                "video" => DatasetKind::Video,
+                "webbase" => DatasetKind::Webbase,
+                other => return Err(format!("unknown dataset '{other}'")),
+            };
+            Ok(kind.build((*scale).max(1), *seed).input)
+        }
+    }
+}
+
+/// Builds the model a spec describes (the promotion step). The input is
+/// dropped afterwards — the model owns copies of its per-rank blocks.
+pub(crate) fn build_model(spec: &JobSpec) -> Result<Model, String> {
+    let input = build_input(&spec.source)?;
+    let mut b = Nmf::on(&input)
+        .rank(spec.k)
+        .ranks(spec.ranks)
+        .algo(spec.algo)
+        .solver(spec.solver)
+        .max_iters(spec.max_iters)
+        .seed(spec.seed);
+    if let Some(t) = spec.tol {
+        b = b.tol(t);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_nmf::harness::Algo;
+    use nmf_nls::SolverKind;
+
+    pub(crate) fn tiny_spec(m: usize, n: usize, k: usize, iters: usize) -> JobSpec {
+        JobSpec {
+            source: JobSource::Dense {
+                m,
+                n,
+                data: (0..m * n).map(|i| (i % 7) as f64 + 0.5).collect(),
+            },
+            k,
+            ranks: 1,
+            algo: Algo::Sequential,
+            solver: SolverKind::Bpp,
+            max_iters: iters,
+            seed: 3,
+            tol: None,
+        }
+    }
+
+    #[test]
+    fn admission_queues_beyond_concurrency_and_rejects_beyond_queue() {
+        let quota = TenantQuota {
+            max_concurrent_jobs: 2,
+            max_queued_jobs: 1,
+            ..TenantQuota::default()
+        };
+        let mut reg = Registry::new(quota, 16);
+        let (j1, q1) = reg.submit("acme", tiny_spec(12, 8, 2, 4)).expect("admit");
+        let (_j2, q2) = reg.submit("acme", tiny_spec(12, 8, 2, 4)).expect("admit");
+        let (_j3, q3) = reg.submit("acme", tiny_spec(12, 8, 2, 4)).expect("queue");
+        assert!(!q1 && !q2, "first two start immediately");
+        assert!(q3, "third queues");
+        let err = reg
+            .submit("acme", tiny_spec(12, 8, 2, 4))
+            .expect_err("fourth rejected");
+        assert!(matches!(err, ServeError::QuotaJobs { .. }), "{err}");
+        // Another tenant is unaffected.
+        reg.submit("zen", tiny_spec(12, 8, 2, 4)).expect("admit");
+        // Cancelling a queued job frees the queue slot.
+        reg.cancel("acme", j1).expect("cancel");
+        reg.submit("acme", tiny_spec(12, 8, 2, 4))
+            .expect("slot freed");
+    }
+
+    #[test]
+    fn admission_rejects_over_byte_quota_with_projection() {
+        let quota = TenantQuota {
+            max_resident_bytes: 8 * (12 + 8) * 2 + 10, // one tiny job fits
+            ..TenantQuota::default()
+        };
+        let mut reg = Registry::new(quota, 16);
+        reg.submit("acme", tiny_spec(12, 8, 2, 4)).expect("fits");
+        // Queued jobs reserve bytes: the second submit is over quota
+        // even though the first has not built yet.
+        let err = reg
+            .submit("acme", tiny_spec(12, 8, 2, 4))
+            .expect_err("over byte quota");
+        match err {
+            ServeError::QuotaBytes {
+                resident, limit, ..
+            } => {
+                assert_eq!(resident, 8 * (12 + 8) * 2);
+                assert_eq!(limit, 8 * (12 + 8) * 2 + 10);
+            }
+            other => panic!("expected QuotaBytes, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_cap_and_unknown_dataset_are_typed_rejections() {
+        let mut reg = Registry::new(TenantQuota::default(), 4);
+        let mut spec = tiny_spec(12, 8, 2, 4);
+        spec.ranks = 64;
+        let err = reg.submit("acme", spec).expect_err("rank cap");
+        assert!(matches!(err, ServeError::BuildFailed { .. }), "{err}");
+        let err = reg
+            .submit(
+                "acme",
+                JobSpec {
+                    source: JobSource::Dataset {
+                        kind: "nope".into(),
+                        scale: 100,
+                        seed: 1,
+                    },
+                    ..tiny_spec(12, 8, 2, 4)
+                },
+            )
+            .expect_err("unknown dataset");
+        assert!(err.to_string().contains("unknown dataset"), "{err}");
+    }
+
+    #[test]
+    fn unknown_names_are_typed() {
+        let mut reg = Registry::new(TenantQuota::default(), 16);
+        assert!(matches!(
+            reg.status("ghost", 1),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        reg.submit("acme", tiny_spec(12, 8, 2, 4)).expect("admit");
+        assert!(matches!(
+            reg.status("acme", 99),
+            Err(ServeError::UnknownJob { .. })
+        ));
+        assert!(matches!(
+            reg.factors("acme", 1),
+            Err(ServeError::NotStarted { .. })
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! Frame transports: how request/response frames move between a client
+//! and the server.
+//!
+//! [`Transport`] is object-safe and deliberately tiny — one duplex pipe
+//! of whole frames — so the server core never knows whether a tenant is
+//! in-process or on the other end of a Unix socket. Two impls:
+//!
+//! * [`channel_pair`] — an in-process transport over crossed `mpsc`
+//!   channels (frames are `Vec<u8>` messages; no framing bytes needed on
+//!   the wire, but the same encode/decode path runs, so the in-process
+//!   transport exercises the full protocol). The cheap default for
+//!   embedding the server in a test or a load generator.
+//! * [`UnixTransport`] — length-prefixed frames over a
+//!   `std::os::unix::net::UnixStream`, for a separate client process.
+//!
+//! [`Listener`] is the accept side: it polls so the server's accept
+//! thread can observe a shutdown flag instead of blocking forever.
+
+use crate::error::ServeError;
+use crate::protocol::MAX_FRAME_BYTES;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// A duplex pipe of protocol frames. `send_frame` delivers one whole
+/// frame; `recv_frame` blocks for the next one and returns
+/// [`ServeError::Closed`] once the peer is gone.
+pub trait Transport: Send {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ServeError>;
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ServeError>;
+}
+
+/// The accept side of a transport: yields new connections, `None` on a
+/// poll tick with nothing pending (so callers can check a stop flag).
+pub trait Listener: Send {
+    fn accept(&mut self, poll: Duration) -> Result<Option<Box<dyn Transport>>, ServeError>;
+}
+
+/* ---- in-process channel transport ---- */
+
+/// One end of an in-process frame pipe.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// A connected pair of in-process transports (client end, server end).
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let (a_tx, a_rx) = channel();
+    let (b_tx, b_rx) = channel();
+    (
+        ChannelTransport { tx: a_tx, rx: b_rx },
+        ChannelTransport { tx: b_tx, rx: a_rx },
+    )
+}
+
+impl Transport for ChannelTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ServeError> {
+        self.tx.send(frame.to_vec()).map_err(|_| ServeError::Closed)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// The dial side of an in-process listener: hand one to each client
+/// thread; every [`connect`](Self::connect) delivers a fresh transport
+/// to the server's accept loop.
+#[derive(Clone)]
+pub struct ChannelConnector {
+    tx: Sender<ChannelTransport>,
+}
+
+impl ChannelConnector {
+    pub fn connect(&self) -> Result<ChannelTransport, ServeError> {
+        let (client_end, server_end) = channel_pair();
+        self.tx.send(server_end).map_err(|_| ServeError::Closed)?;
+        Ok(client_end)
+    }
+}
+
+/// An in-process listener plus its connector.
+pub struct ChannelListener {
+    rx: Receiver<ChannelTransport>,
+}
+
+/// Creates an in-process listener and the connector clients dial it
+/// with.
+pub fn channel_listener() -> (ChannelListener, ChannelConnector) {
+    let (tx, rx) = channel();
+    (ChannelListener { rx }, ChannelConnector { tx })
+}
+
+impl Listener for ChannelListener {
+    fn accept(&mut self, poll: Duration) -> Result<Option<Box<dyn Transport>>, ServeError> {
+        match self.rx.recv_timeout(poll) {
+            Ok(t) => Ok(Some(Box::new(t))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            // Every connector dropped: no new connections can ever
+            // arrive, but existing ones stay live — treat like an idle
+            // tick and let the server decide when to stop.
+            Err(RecvTimeoutError::Disconnected) => {
+                std::thread::sleep(poll);
+                Ok(None)
+            }
+        }
+    }
+}
+
+/* ---- unix socket transport ---- */
+
+/// Length-prefixed frames over a Unix stream socket.
+pub struct UnixTransport {
+    stream: UnixStream,
+}
+
+impl UnixTransport {
+    /// Connects to a serving socket at `path`.
+    pub fn connect(path: impl AsRef<Path>) -> Result<UnixTransport, ServeError> {
+        Ok(UnixTransport {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+}
+
+impl Transport for UnixTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ServeError> {
+        debug_assert!(frame.len() <= MAX_FRAME_BYTES);
+        self.stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.stream.write_all(frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ServeError> {
+        let mut len = [0u8; 4];
+        match self.stream.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Err(ServeError::Closed),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(ServeError::BadFrame {
+                reason: format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
+            });
+        }
+        let mut frame = vec![0u8; len];
+        match self.stream.read_exact(&mut frame) {
+            Ok(()) => Ok(frame),
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(ServeError::Closed),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Accepts Unix-socket connections; the socket file is unlinked on drop.
+pub struct UnixSocketListener {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl UnixSocketListener {
+    /// Binds `path`, replacing a stale socket file from a dead server if
+    /// one is in the way.
+    pub fn bind(path: impl AsRef<Path>) -> Result<UnixSocketListener, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        // Nonblocking so `accept` can poll and observe shutdown.
+        listener.set_nonblocking(true)?;
+        Ok(UnixSocketListener { listener, path })
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Listener for UnixSocketListener {
+    fn accept(&mut self, poll: Duration) -> Result<Option<Box<dyn Transport>>, ServeError> {
+        match self.listener.accept() {
+            Ok((stream, _addr)) => {
+                // Connections run blocking I/O on their own threads.
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(UnixTransport { stream })))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl Drop for UnixSocketListener {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_moves_frames_both_ways() {
+        let (mut a, mut b) = channel_pair();
+        a.send_frame(b"ping").expect("send");
+        assert_eq!(b.recv_frame().expect("recv"), b"ping");
+        b.send_frame(b"pong").expect("send");
+        assert_eq!(a.recv_frame().expect("recv"), b"pong");
+        drop(b);
+        assert!(matches!(a.recv_frame(), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn unix_transport_round_trips_frames() {
+        let path = std::env::temp_dir().join(format!("nmf-t-{}.sock", std::process::id()));
+        let mut listener = UnixSocketListener::bind(&path).expect("bind");
+        let client = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut t = UnixTransport::connect(&path).expect("connect");
+                t.send_frame(&[7; 70_000]).expect("send big frame");
+                let back = t.recv_frame().expect("reply");
+                assert_eq!(back, vec![1, 2, 3]);
+            }
+        });
+        let mut conn = loop {
+            if let Some(c) = listener.accept(Duration::from_millis(5)).expect("accept") {
+                break c;
+            }
+        };
+        assert_eq!(conn.recv_frame().expect("frame"), vec![7; 70_000]);
+        conn.send_frame(&[1, 2, 3]).expect("reply");
+        client.join().expect("client thread");
+        drop(listener);
+        assert!(!path.exists(), "socket file unlinked on drop");
+    }
+}

@@ -1,0 +1,136 @@
+//! Concurrent use of `Model` handles — the property the serving layer
+//! (`nmf_serve`) is built on.
+//!
+//! A `Model` is `Send` and owns its whole virtual-MPI universe, so many
+//! models can step simultaneously from different OS threads without
+//! sharing anything. These tests prove (a) that is safe, and (b) it is
+//! *deterministic*: factors computed under heavy interleaving are
+//! bit-identical to a serial run of the same spec — concurrency cannot
+//! change any tenant's numerical results.
+
+use hpc_nmf::prelude::*;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+
+fn test_input(m: usize, n: usize, seed: u64) -> Input {
+    Input::Dense(Mat::uniform(m, n, seed))
+}
+
+fn build(input: &Input, k: usize, ranks: usize, iters: usize, seed: u64) -> Model {
+    Nmf::on(input)
+        .rank(k)
+        .ranks(ranks)
+        .algo(if ranks == 1 {
+            Algo::Sequential
+        } else {
+            Algo::Hpc2D
+        })
+        .max_iters(iters)
+        .seed(seed)
+        .build()
+        .expect("valid spec")
+}
+
+/// Eight models with distinct specs stepped from eight threads at once;
+/// each must match its own serial twin bit-for-bit.
+#[test]
+fn parallel_models_match_serial_runs_bitwise() {
+    let specs: Vec<(usize, usize, usize, usize, u64)> = (0..8)
+        .map(|i| (20 + i, 14 + (i % 3), 3 + (i % 2), 5, 100 + i as u64))
+        .collect();
+
+    // Serial reference factors, one model at a time.
+    let serial: Vec<(Mat, Mat)> = specs
+        .iter()
+        .map(|&(m, n, k, iters, seed)| {
+            let input = test_input(m, n, seed);
+            let mut model = build(&input, k, 1 + (seed % 2) as usize, iters, seed);
+            while !model.is_finished() {
+                model.step();
+            }
+            model.factors()
+        })
+        .collect();
+
+    // The same specs stepped concurrently, one thread per model, with a
+    // barrier so every thread's steps interleave with the others'.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(specs.len()));
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|&(m, n, k, iters, seed)| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let input = test_input(m, n, seed);
+                let mut model = build(&input, k, 1 + (seed % 2) as usize, iters, seed);
+                barrier.wait();
+                while !model.is_finished() {
+                    model.step();
+                    std::thread::yield_now();
+                }
+                model.factors()
+            })
+        })
+        .collect();
+
+    for (handle, (w_serial, h_serial)) in handles.into_iter().zip(&serial) {
+        let (w, h) = handle.join().expect("model thread");
+        assert_eq!(w.as_slice(), w_serial.as_slice(), "W bit-identical");
+        assert_eq!(h.as_slice(), h_serial.as_slice(), "H bit-identical");
+    }
+}
+
+/// Incremental stepping (`step_up_to` in uneven slices, as a scheduler
+/// grants quanta) reaches the same factors as one uninterrupted run.
+#[test]
+fn sliced_stepping_matches_a_full_run_bitwise() {
+    let input = test_input(30, 22, 9);
+    let mut whole = build(&input, 4, 2, 9, 7);
+    let done = whole.step_up_to(9);
+    assert_eq!(done.steps_run, 9);
+    assert!(whole.is_finished());
+    let (w_whole, h_whole) = whole.factors();
+
+    let mut sliced = build(&input, 4, 2, 9, 7);
+    let mut granted = 0;
+    for grant in [1, 3, 2, 4, 5] {
+        let p = sliced.step_up_to(grant);
+        granted += p.steps_run;
+        assert!(p.steps_run <= grant);
+    }
+    assert_eq!(granted, 9, "cap stops the slices at max_iters");
+    assert!(sliced.is_finished());
+    assert_eq!(sliced.remaining_iters(), 0);
+    let (w_sliced, h_sliced) = sliced.factors();
+    assert_eq!(w_sliced.as_slice(), w_whole.as_slice());
+    assert_eq!(h_sliced.as_slice(), h_whole.as_slice());
+}
+
+/// Models moved into worker threads mid-run (submitted on one thread,
+/// stepped on another, harvested on a third) keep working — the ownership
+/// pattern of a serving process.
+#[test]
+fn models_survive_moves_across_threads() {
+    let input = test_input(24, 18, 3);
+    let mut model = build(&input, 3, 2, 6, 21);
+    model.step_up_to(2);
+
+    // Move to a stepping thread.
+    let model = std::thread::spawn(move || {
+        let mut model = model;
+        model.step_up_to(2);
+        model
+    })
+    .join()
+    .expect("stepping thread");
+
+    // Move to a finishing thread.
+    let (iters, w) = std::thread::spawn(move || {
+        let mut model = model;
+        model.step_up_to(usize::MAX);
+        (model.iterations(), model.factors().0)
+    })
+    .join()
+    .expect("finishing thread");
+    assert_eq!(iters, 6);
+    assert!(w.as_slice().iter().all(|&x| x.is_finite() && x >= 0.0));
+}
