@@ -1,0 +1,151 @@
+//! PR9 evidence run: the CSC forward-traversal `Aᵀ·W` kernel against
+//! the CSR transposed pass it replaced, on the two sparse regimes the
+//! paper cares about — an SSYN-like Erdős–Rényi matrix (uniform ~115
+//! nnz/row) and a webbase-like power-law graph (heavy-tailed rows) —
+//! plus the one-time cost the sharing layer amortizes (CSC build) and
+//! the extraction counts a rank sweep saves through [`SharedInput`].
+//!
+//! Both kernels produce bit-identical output (asserted here, proven
+//! property-wide in `crates/sparse/tests/csc_props.rs`), so the medians
+//! compare pure traversal orientation. Writes `BENCH_PR9.json` (or the
+//! path in `BENCH_PR9_OUT`). `NMF_BENCH_QUICK=1` shrinks shapes and
+//! repeats so CI can smoke the run.
+
+use hpc_nmf::prelude::*;
+use nmf_matrix::rng::Fill;
+use nmf_matrix::Mat;
+use nmf_sparse::gen::{chung_lu_power_law, erdos_renyi};
+use nmf_sparse::{csc_chosen, spmm_at_dense_csc_into, spmm_at_dense_into, CscView, Csr};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("NMF_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The bench shapes: one per regime of the adaptive `Aᵀ·W` dispatch.
+///
+/// * `ssyn-*` and `webbase-*` have cache-resident outputs — the regime
+///   the CSR transposed pass owns (the dispatcher keeps routing them
+///   there; their sub-1 ratios are recorded as the honest reason why).
+/// * `wide-*` is the term-document-like regime — outputs larger than
+///   the last-level cache — where the CSR pass scatters into DRAM and
+///   the CSC forward traversal is the measured win.
+fn make_shapes() -> Vec<(&'static str, Csr, &'static [usize], usize)> {
+    let s = if quick() { 4 } else { 1 };
+    let reps = if quick() { 3 } else { 9 };
+    let wide_reps = if quick() { 3 } else { 5 };
+    vec![
+        (
+            "ssyn-8640x5760",
+            erdos_renyi(8640 / s, 5760 / s, 0.02, 17),
+            &[8usize, 32][..],
+            reps,
+        ),
+        (
+            "webbase-16k-1m",
+            chung_lu_power_law(16384 / s, 1_000_000 / (s * s), 2.1, 29),
+            &[8, 32][..],
+            reps,
+        ),
+        (
+            "wide-16384x1500000",
+            erdos_renyi(16384 / s, 1_500_000 / s, 1e-3, 41),
+            &[32][..],
+            wide_reps,
+        ),
+        (
+            "wide-8192x2000000",
+            erdos_renyi(8192 / s, 2_000_000 / s, 1e-3, 43),
+            &[32][..],
+            wide_reps,
+        ),
+    ]
+}
+
+/// Median of `reps` timed runs of `f`, seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut cases = Vec::new();
+
+    for (name, a, ks, reps) in make_shapes() {
+        let t0 = Instant::now();
+        let csc = CscView::from_csr(&a);
+        let csc_build_s = t0.elapsed().as_secs_f64();
+        for &k in ks {
+            let w = Mat::uniform(a.nrows(), k, 7);
+            let mut y_csr = Mat::zeros(a.ncols(), k);
+            let mut y_csc = Mat::zeros(a.ncols(), k);
+            // Warm-up + the bit-identity check the speedup rests on.
+            spmm_at_dense_into(&a, &w, &mut y_csr);
+            spmm_at_dense_csc_into(&a, &csc, &w, &mut y_csc);
+            assert!(
+                y_csr
+                    .as_slice()
+                    .iter()
+                    .zip(y_csc.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name} k={k}: kernels disagree"
+            );
+            let csr_s = median_secs(reps, || spmm_at_dense_into(&a, &w, &mut y_csr));
+            let csc_s = median_secs(reps, || spmm_at_dense_csc_into(&a, &csc, &w, &mut y_csc));
+            let routed_csc = csc_chosen(a.ncols(), k);
+            println!(
+                "{name:24} k={k:2}: csr {csr_s:.6}s  csc {csc_s:.6}s  speedup {:.2}x  routed→{}",
+                csr_s / csc_s,
+                if routed_csc { "csc" } else { "csr" }
+            );
+            cases.push(format!(
+                "{{\"shape\":\"{name}\",\"m\":{},\"n\":{},\"nnz\":{},\"k\":{k},\
+                 \"csr_transposed_seconds\":{csr_s:.6},\"csc_forward_seconds\":{csc_s:.6},\
+                 \"speedup\":{:.4},\"csc_build_seconds\":{csc_build_s:.6},\
+                 \"engine_routes_to\":\"{}\"}}",
+                a.nrows(),
+                a.ncols(),
+                a.nnz(),
+                csr_s / csc_s,
+                if routed_csc { "csc" } else { "csr" }
+            ));
+        }
+    }
+
+    // Extraction sharing: a 3-value rank sweep over one SharedInput
+    // shards the matrix exactly once (the tentpole's acceptance count).
+    let shared = SharedInput::new(Input::Sparse(erdos_renyi(1728, 1152, 0.02, 3)));
+    for k in [4usize, 8, 12] {
+        let mut model = Nmf::on_shared(&shared)
+            .rank(k)
+            .ranks(4)
+            .algo(Algo::Hpc2D)
+            .max_iters(2)
+            .build()
+            .expect("valid request");
+        model.run();
+    }
+    println!(
+        "rank sweep over 3 k values: {} extraction(s)",
+        shared.extractions()
+    );
+
+    let out = std::env::var("BENCH_PR9_OUT").unwrap_or_else(|_| "BENCH_PR9.json".into());
+    let json = format!(
+        "{{\n  \"bench\": \"csc_kernel_vs_csr_transposed\",\n  \"quick\": {},\n  \"cases\": [\n    {}\n  ],\n  \"shared_input\": {{\"rank_sweep_ks\": [4, 8, 12], \"extractions\": {}}}\n}}\n",
+        quick(),
+        cases.join(",\n    "),
+        shared.extractions()
+    );
+    let mut f = std::fs::File::create(&out).expect("create output");
+    f.write_all(json.as_bytes()).expect("write output");
+    println!("wrote {out}");
+}

@@ -17,6 +17,11 @@
 //!
 //! # what's inside a checkpoint, without loading the factors
 //! cargo run --release -p nmf_bench --bin nmf_cli -- checkpoints inspect run.ckpt
+//!
+//! # out of core: materialize once, then factorize without loading the file
+//! cargo run --release -p nmf_bench --bin nmf_cli -- convert --dataset webbase \
+//!     --scale 50 --out webbase.nmfs
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --input webbase.nmfs --mmap --k 8
 //! ```
 //!
 //! `--json` replaces the human-readable report with one JSON object per
@@ -58,6 +63,8 @@ struct Args {
     seed: Option<u64>,
     json: bool,
     no_overlap: bool,
+    mmap: bool,
+    out: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: Option<usize>,
     checkpoint_keep: Option<usize>,
@@ -166,6 +173,8 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
             }
             "--json" => args.json = true,
             "--no-overlap" => args.no_overlap = true,
+            "--mmap" => args.mmap = true,
+            "--out" => args.out = val("--out", &mut errors).map(PathBuf::from),
             "--checkpoint" => args.checkpoint = val("--checkpoint", &mut errors).map(PathBuf::from),
             "--checkpoint-every" => {
                 args.checkpoint_every = parse_num(
@@ -209,6 +218,9 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
                 .into(),
         );
     }
+    if args.mmap && args.input.is_none() {
+        errors.push("--mmap needs --input FILE.nmfs (an NMFS binary, see `convert`)".into());
+    }
     if let Some(ds) = &args.dataset {
         if !matches!(ds.as_str(), "dsyn" | "ssyn" | "video" | "webbase") {
             errors.push(format!(
@@ -243,6 +255,8 @@ fn print_help() {
          \x20 --input FILE.mtx        Matrix Market file (coordinate or array)\n\
          \x20 --dataset NAME          dsyn | ssyn | video | webbase (generated)\n\
          \x20 --scale N               divide paper dims by N (default 200)\n\
+         \x20 --mmap                  treat --input FILE as an NMFS binary and\n\
+         \x20                         stream it out of core (never fully loads)\n\
          \n\
          options:\n\
          \x20 --algo A                seq | naive | hpc1d | hpc2d (default hpc2d)\n\
@@ -264,18 +278,46 @@ fn print_help() {
          tooling:\n\
          \x20 checkpoints inspect FILE   print a checkpoint's versioned header\n\
          \x20                            (shape, k, algo, grid, fingerprint,\n\
-         \x20                            iteration, checksum) without loading factors"
+         \x20                            iteration, checksum) without loading factors\n\
+         \x20 convert ... --out FILE.nmfs  materialize a sparse input (--input\n\
+         \x20                            FILE.mtx or --dataset/--scale/--seed)\n\
+         \x20                            as an NMFS binary for --mmap runs"
     );
 }
 
-fn load_input(args: &Args) -> Result<Input, NmfError> {
+/// Loads the input for a run: out-of-core ([`SharedInput::open_mmap`])
+/// under `--mmap`, otherwise the resident matrix wrapped in a
+/// [`SharedInput`] so a `--k` sweep extracts per-rank blocks exactly
+/// once.
+fn load_input(args: &Args) -> Result<SharedInput, NmfError> {
+    if args.mmap {
+        let path = args.input.as_deref().expect("parse_args requires --input");
+        return SharedInput::open_mmap(path);
+    }
+    load_resident(args).map(SharedInput::new)
+}
+
+fn load_resident(args: &Args) -> Result<Input, NmfError> {
     if let Some(path) = &args.input {
         let io = |source| NmfError::Io {
             path: PathBuf::from(path),
             source,
         };
-        let file = std::fs::File::open(path).map_err(io)?;
-        let text = std::io::read_to_string(file).map_err(io)?;
+        let bytes = std::fs::read(path).map_err(io)?;
+        // NMFS binaries load resident too (without --mmap they are
+        // simply read into RAM); everything else is Matrix Market text.
+        if bytes.starts_with(&nmf_sparse::io::NMFS_MAGIC) {
+            return nmf_sparse::io::read_csr_binary(bytes.as_slice())
+                .map(Input::Sparse)
+                .map_err(|e| NmfError::Corrupt {
+                    path: PathBuf::from(path),
+                    reason: format!("NMFS parse error: {e}"),
+                });
+        }
+        let text = String::from_utf8(bytes).map_err(|_| NmfError::Corrupt {
+            path: PathBuf::from(path),
+            reason: "input is neither an NMFS binary nor UTF-8 Matrix Market text".into(),
+        })?;
         // Peek the banner to pick sparse vs dense.
         let parsed = if text.lines().next().is_some_and(|l| l.contains("array")) {
             nmf_sparse::io::read_matrix_market_dense(text.as_bytes()).map(Input::Dense)
@@ -357,10 +399,56 @@ fn run_checkpoints(argv: &[String]) -> Result<(), NmfError> {
     Ok(())
 }
 
+/// `nmf_cli convert ... --out FILE.nmfs`: materialize a sparse input
+/// (a Matrix Market file or a generated dataset) as an `NMFS` binary,
+/// the format `--mmap` runs stream out of core.
+fn run_convert(argv: &[String]) -> Result<(), NmfError> {
+    let args = parse_args(argv).map_err(|errors| NmfError::InvalidArgs { errors })?;
+    let mut errors = Vec::new();
+    if args.out.is_none() {
+        errors.push("convert needs --out FILE.nmfs".into());
+    }
+    if args.mmap {
+        errors.push("--mmap reads an NMFS file; convert writes one".into());
+    }
+    if !errors.is_empty() {
+        return Err(NmfError::InvalidArgs { errors });
+    }
+    let out = args.out.as_deref().expect("checked above");
+    let input = load_resident(&args)?;
+    let (m, n) = input.shape();
+    nmf_data::write_input_nmfs(&input, out).map_err(|source| {
+        if source.kind() == std::io::ErrorKind::InvalidInput {
+            NmfError::InvalidArgs {
+                errors: vec![format!("{source} (convert a sparse input instead)")],
+            }
+        } else {
+            NmfError::Io {
+                path: out.to_path_buf(),
+                source,
+            }
+        }
+    })?;
+    let bytes = std::fs::metadata(out).map(|md| md.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({m}x{n}, {} nnz, {bytes} bytes)",
+        out.display(),
+        input.nnz()
+    );
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().is_some_and(|a| a == "checkpoints") {
         if let Err(e) = run_checkpoints(&argv[1..]) {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+        return;
+    }
+    if argv.first().is_some_and(|a| a == "convert") {
+        if let Err(e) = run_convert(&argv[1..]) {
             eprintln!("error: {e}");
             exit(2);
         }
@@ -381,11 +469,16 @@ fn main() {
 }
 
 fn run(args: &Args) -> Result<(), NmfError> {
+    if args.out.is_some() {
+        return Err(NmfError::InvalidArgs {
+            errors: vec!["--out belongs to the convert subcommand".into()],
+        });
+    }
     let input = load_input(args)?;
     let ks = args.ks();
 
     if let Some(path) = &args.resume {
-        let mut model = Model::load(path, &input)?;
+        let mut model = Model::load_shared(path, &input)?;
         check_resume_conflicts(args, &model)?;
         if let Some(iters) = args.iters {
             model.set_max_iters(iters);
@@ -415,7 +508,7 @@ fn run(args: &Args) -> Result<(), NmfError> {
                     args.ranks.unwrap_or(4)
                 };
                 model = Some(
-                    Nmf::on(&input)
+                    Nmf::on_shared(&input)
                         .config(config)
                         .algo(algo)
                         .ranks(ranks)
@@ -518,7 +611,7 @@ fn check_resume_conflicts(args: &Args, model: &Model) -> Result<(), NmfError> {
 /// the way when configured, then prints the summary.
 fn drive_and_report(
     args: &Args,
-    input: &Input,
+    input: &SharedInput,
     model: &mut Model,
     ckpt: Option<&Path>,
 ) -> Result<(), NmfError> {
@@ -603,7 +696,7 @@ fn jnum(x: f64) -> String {
 /// One JSON object per fitted rank on stdout: everything a benchmark or
 /// model-selection script wants, hand-rolled (the container pulls no
 /// serde).
-fn print_json(input: &Input, model: &Model, stop: StopReason, wall: Duration) {
+fn print_json(input: &SharedInput, model: &Model, stop: StopReason, wall: Duration) {
     let (m, n) = model.shape();
     let grid = model.grid();
     let config = model.config();
@@ -709,6 +802,14 @@ mod tests {
         assert!(!args.config(10).overlap);
         let args = parse_args(&argv("--dataset dsyn")).expect("valid");
         assert!(args.config(10).overlap, "overlap defaults on");
+    }
+
+    #[test]
+    fn mmap_requires_an_input_file() {
+        let errs = parse_args(&argv("--dataset ssyn --mmap")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("--mmap needs --input")));
+        let args = parse_args(&argv("--input a.nmfs --mmap --k 4")).expect("valid");
+        assert!(args.mmap);
     }
 
     #[test]

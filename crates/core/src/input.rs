@@ -9,7 +9,10 @@ use crate::workspace::SessionPack;
 use nmf_matrix::{
     matmul, matmul_into, matmul_packed_scratch_into, matmul_ta, matmul_ta_into, Mat, PackedPanels,
 };
-use nmf_sparse::{spmm_at_dense, spmm_at_dense_into, spmm_dense_t, spmm_dense_t_into, Csr};
+use nmf_sparse::{
+    spmm_at_dense, spmm_at_dense_auto, spmm_at_dense_auto_into, spmm_at_dense_into, spmm_dense_t,
+    spmm_dense_t_into, Csr, SpBlock,
+};
 
 /// A whole input matrix (held by the test/benchmark harness; in a real
 /// MPI deployment each rank would read only its block from disk).
@@ -61,7 +64,7 @@ impl Input {
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> LocalMat {
         match self {
             Input::Dense(a) => LocalMat::Dense(a.block(r0, c0, nr, nc)),
-            Input::Sparse(a) => LocalMat::Sparse(a.block(r0, c0, nr, nc)),
+            Input::Sparse(a) => LocalMat::Sparse(SpBlock::from_csr(a.block(r0, c0, nr, nc))),
         }
     }
 
@@ -133,11 +136,15 @@ impl Input {
     }
 }
 
-/// One rank's block of the input matrix.
+/// One rank's block of the input matrix. Sparse blocks carry both the
+/// CSR and its column view over one shared values ordering
+/// ([`SpBlock`]), so `A_loc·Hᵀ` runs row-major and `A_locᵀ·W` runs the
+/// forward-traversal CSC kernel — bit-identical to the transposed CSR
+/// pass, without its scattered output writes.
 #[derive(Clone, Debug)]
 pub enum LocalMat {
     Dense(Mat),
-    Sparse(Csr),
+    Sparse(SpBlock),
 }
 
 impl LocalMat {
@@ -173,7 +180,7 @@ impl LocalMat {
     pub fn mm_a_ht(&self, ht: &Mat) -> Mat {
         match self {
             LocalMat::Dense(a) => matmul(a, ht),
-            LocalMat::Sparse(a) => spmm_dense_t(a, ht),
+            LocalMat::Sparse(a) => spmm_dense_t(a.csr(), ht),
         }
     }
 
@@ -181,7 +188,7 @@ impl LocalMat {
     pub fn mm_a_ht_into(&self, ht: &Mat, out: &mut Mat) {
         match self {
             LocalMat::Dense(a) => matmul_into(a, ht, out),
-            LocalMat::Sparse(a) => spmm_dense_t_into(a, ht, out),
+            LocalMat::Sparse(a) => spmm_dense_t_into(a.csr(), ht, out),
         }
     }
 
@@ -189,15 +196,18 @@ impl LocalMat {
     pub fn mm_at_w(&self, w: &Mat) -> Mat {
         match self {
             LocalMat::Dense(a) => matmul_ta(a, w),
-            LocalMat::Sparse(a) => spmm_at_dense(a, w),
+            LocalMat::Sparse(a) => spmm_at_dense_auto(a.csr(), a.csc(), w),
         }
     }
 
     /// Local `A_locᵀ·W` into caller-owned `out` (the workspace path).
+    /// Sparse blocks dispatch by output size: column-forward off the
+    /// block's CSC view when `n_loc·k` outgrows the last-level cache,
+    /// the CSR transposed pass (bit-identical) otherwise.
     pub fn mm_at_w_into(&self, w: &Mat, out: &mut Mat) {
         match self {
             LocalMat::Dense(a) => matmul_ta_into(a, w, out),
-            LocalMat::Sparse(a) => spmm_at_dense_into(a, w, out),
+            LocalMat::Sparse(a) => spmm_at_dense_auto_into(a.csr(), a.csc(), w, out),
         }
     }
 
@@ -231,7 +241,7 @@ impl LocalMat {
         match self {
             LocalMat::Dense(a) if p.is_empty() => matmul_into(a, ht, out),
             LocalMat::Dense(_) => matmul_packed_scratch_into(p, ht, out, scratch),
-            LocalMat::Sparse(a) => spmm_dense_t_into(a, ht, out),
+            LocalMat::Sparse(a) => spmm_dense_t_into(a.csr(), ht, out),
         }
     }
 
@@ -247,7 +257,7 @@ impl LocalMat {
         match self {
             LocalMat::Dense(a) if p.is_empty() => matmul_ta_into(a, w, out),
             LocalMat::Dense(_) => matmul_packed_scratch_into(p, w, out, scratch),
-            LocalMat::Sparse(a) => spmm_at_dense_into(a, w, out),
+            LocalMat::Sparse(a) => spmm_at_dense_auto_into(a.csr(), a.csc(), w, out),
         }
     }
 
@@ -255,6 +265,16 @@ impl LocalMat {
     /// (`2·nnz·k`, which for dense equals `2·(m/pr)·(n/pc)·k`).
     pub fn mm_flops(&self, k: usize) -> f64 {
         2.0 * self.nnz() as f64 * k as f64
+    }
+
+    /// Resident heap bytes of this block (values plus, for sparse
+    /// blocks, both index structures) — the input-side currency of the
+    /// serving layer's shared-dataset accounting.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            LocalMat::Dense(a) => 8 * a.len(),
+            LocalMat::Sparse(a) => a.resident_bytes(),
+        }
     }
 }
 
@@ -286,7 +306,7 @@ mod tests {
         let bs = sparse.block(2, 1, 5, 6);
         match (bd, bs) {
             (LocalMat::Dense(d), LocalMat::Sparse(sp)) => {
-                assert!(d.max_abs_diff(&sp.to_dense()) < 1e-15);
+                assert!(d.max_abs_diff(&sp.csr().to_dense()) < 1e-15);
             }
             _ => panic!("unexpected block variants"),
         }
@@ -296,7 +316,7 @@ mod tests {
     fn mm_flops_counts() {
         let s = banded(10, 1);
         let nnz = s.nnz();
-        let lm = LocalMat::Sparse(s);
+        let lm = LocalMat::Sparse(SpBlock::from_csr(s));
         assert_eq!(lm.mm_flops(5), (2 * nnz * 5) as f64);
         let ld = LocalMat::Dense(Mat::zeros(4, 6));
         assert_eq!(ld.mm_flops(2), (2 * 24 * 2) as f64);

@@ -99,6 +99,7 @@ pub mod input;
 pub mod naive;
 pub mod seq;
 pub mod session;
+pub mod shared;
 pub mod workspace;
 
 pub use checkpoint::{
@@ -115,6 +116,7 @@ pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
 pub use session::{Model, Nmf, NmfBuilder, StepProgress};
+pub use shared::{ShardKey, SharedInput};
 pub use workspace::IterWorkspace;
 
 /// Everything needed for typical use.
@@ -125,5 +127,6 @@ pub mod prelude {
     pub use crate::harness::{factorize, Algo};
     pub use crate::input::Input;
     pub use crate::session::{Model, Nmf, NmfBuilder, StepProgress};
+    pub use crate::shared::SharedInput;
     pub use nmf_nls::SolverKind;
 }

@@ -65,7 +65,8 @@ use crate::engine::{
 use crate::error::{grid_fits, NmfError};
 use crate::grid::Grid;
 use crate::harness::Algo;
-use crate::input::{Input, LocalMat};
+use crate::input::Input;
+use crate::shared::{extract_rank_data, RankData, ShardKey, SharedInput};
 use crate::workspace::IterWorkspace;
 use nmf_matrix::Mat;
 use nmf_nls::SolverKind;
@@ -73,8 +74,52 @@ use nmf_vmpi::universe::{seats, Seat};
 use nmf_vmpi::{Comm, CommStats};
 use std::path::Path;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Where a build gets its data: a borrowed whole matrix (blocks are
+/// extracted fresh) or a [`SharedInput`] (blocks come from its sharding
+/// cache).
+#[derive(Clone, Copy)]
+enum InputSource<'a> {
+    Whole(&'a Input),
+    Shared(&'a SharedInput),
+}
+
+impl InputSource<'_> {
+    fn shape(&self) -> (usize, usize) {
+        match self {
+            InputSource::Whole(input) => input.shape(),
+            InputSource::Shared(shared) => shared.shape(),
+        }
+    }
+
+    fn fro_norm_sq(&self) -> f64 {
+        match self {
+            InputSource::Whole(input) => input.fro_norm_sq(),
+            InputSource::Shared(shared) => shared.fro_norm_sq(),
+        }
+    }
+
+    /// The per-rank blocks for `key`: freshly extracted for a whole
+    /// matrix, served from (and populated into) the sharding cache for
+    /// a shared input.
+    fn rank_data(&self, key: ShardKey) -> Arc<Vec<RankData>> {
+        match self {
+            InputSource::Whole(input) => {
+                let (m, n) = input.shape();
+                Arc::new(extract_rank_data(
+                    &|r0, c0, nr, nc| input.block(r0, c0, nr, nc),
+                    key,
+                    m,
+                    n,
+                ))
+            }
+            InputSource::Shared(shared) => shared.rank_data(key),
+        }
+    }
+}
 
 /// Entry point of the session API. See the [module docs](self).
 pub struct Nmf;
@@ -84,6 +129,19 @@ impl Nmf {
     /// the input only until [`build`](NmfBuilder::build); the resulting
     /// [`Model`] owns copies of the per-rank blocks and is `'static`.
     pub fn on(input: &Input) -> NmfBuilder<'_> {
+        Nmf::from_source(InputSource::Whole(input))
+    }
+
+    /// Starts building a factorization over a [`SharedInput`], reusing
+    /// its cached per-rank blocks (and populating the cache on first
+    /// use). Successive builds with the same algorithm shape — a rank
+    /// sweep, serving tenants over one dataset — share the resident
+    /// blocks instead of re-extracting them.
+    pub fn on_shared(input: &SharedInput) -> NmfBuilder<'_> {
+        Nmf::from_source(InputSource::Shared(input))
+    }
+
+    fn from_source(input: InputSource<'_>) -> NmfBuilder<'_> {
         NmfBuilder {
             input,
             config: NmfConfig::new(1),
@@ -102,7 +160,7 @@ impl Nmf {
 /// reports the first violated constraint as an [`NmfError`] with an
 /// actionable message.
 pub struct NmfBuilder<'a> {
-    input: &'a Input,
+    input: InputSource<'a>,
     config: NmfConfig,
     k_set: bool,
     algo: Algo,
@@ -366,10 +424,16 @@ enum Spec {
     Hpc(Grid),
 }
 
-/// One rank's share of the input matrix.
-enum RankData {
-    Single(LocalMat),
-    Split { row: LocalMat, col: LocalMat },
+impl Spec {
+    /// The sharding this scheme needs for `ranks` ranks (the
+    /// [`SharedInput`] cache key).
+    fn shard_key(&self, ranks: usize) -> ShardKey {
+        match self {
+            Spec::Seq => ShardKey::Seq,
+            Spec::Naive => ShardKey::Naive { p: ranks },
+            Spec::Hpc(g) => ShardKey::Grid { pr: g.pr, pc: g.pc },
+        }
+    }
 }
 
 /// Controller → worker commands. Every command is answered by exactly
@@ -426,7 +490,7 @@ fn build_engine<'a>(
     match (spec, data) {
         (Spec::Seq, RankData::Single(a)) => Box::new(AnlsEngine::with_workspace(
             LocalScheme::new(dims.0, dims.1),
-            a,
+            a.as_ref(),
             config,
             w0,
             ht0,
@@ -435,8 +499,8 @@ fn build_engine<'a>(
         (Spec::Naive, RankData::Split { row, col }) => Box::new(AnlsEngine::with_workspace(
             Replicated1D::new(comm, dims, config.k),
             SplitBlocks {
-                row_block: row,
-                col_block: col,
+                row_block: row.as_ref(),
+                col_block: col.as_ref(),
             },
             config,
             w0,
@@ -445,7 +509,7 @@ fn build_engine<'a>(
         )),
         (Spec::Hpc(grid), RankData::Single(a)) => Box::new(AnlsEngine::with_workspace(
             Grid2D::new(comm, grid, dims, config.k).with_overlap(config.overlap),
-            a,
+            a.as_ref(),
             config,
             w0,
             ht0,
@@ -580,7 +644,7 @@ pub struct Model {
 impl Model {
     #[allow(clippy::too_many_arguments)]
     fn spawn(
-        input: &Input,
+        input: InputSource<'_>,
         config: NmfConfig,
         algo: Algo,
         grid: Grid,
@@ -633,29 +697,16 @@ impl Model {
             .filter(|o| o.is_finite())
             .unwrap_or(norm_a_sq);
 
+        // One sharding for the whole universe: a shared input serves
+        // (or fills) its cache, a whole input extracts fresh. Either
+        // way each worker receives cheap `Arc` clones of its blocks.
+        let rank_data = input.rank_data(spec.shard_key(ranks));
+        debug_assert_eq!(rank_data.len(), ranks);
+
         let mut workers = Vec::with_capacity(ranks);
         let mut handles = Vec::with_capacity(ranks);
         for (r, seat) in seats(ranks).into_iter().enumerate() {
-            let data = match spec {
-                Spec::Seq => RankData::Single(input.block(0, 0, m, n)),
-                Spec::Naive => {
-                    let rows = Dist1D::new(m, ranks).part(r);
-                    let cols = Dist1D::new(n, ranks).part(r);
-                    RankData::Split {
-                        row: input.block(rows.offset, 0, rows.len, n),
-                        col: input.block(0, cols.offset, m, cols.len),
-                    }
-                }
-                Spec::Hpc(g) => {
-                    let lay = hpc_rank_layout(g, m, n, r);
-                    RankData::Single(input.block(
-                        lay.rows.offset,
-                        lay.cols.offset,
-                        lay.rows.len,
-                        lay.cols.len,
-                    ))
-                }
-            };
+            let data = rank_data[r].clone();
             let lay = layout[r];
             let w0_local = w0.rows_block(lay.w.offset, lay.w.len);
             let ht0_local = ht0.rows_block(lay.ht.offset, lay.ht.len);
@@ -960,6 +1011,18 @@ impl Model {
     /// checkpoint was taken from (its shape is verified; its content is
     /// the caller's contract — the checkpoint stores factors, not data).
     pub fn load(path: impl AsRef<Path>, input: &Input) -> Result<Model, NmfError> {
+        Self::load_from(path, InputSource::Whole(input))
+    }
+
+    /// [`load`](Self::load) against a [`SharedInput`]: the resumed
+    /// model draws its blocks from the shared sharding cache (an
+    /// mmap-backed input resumes without ever loading the whole
+    /// matrix).
+    pub fn load_shared(path: impl AsRef<Path>, input: &SharedInput) -> Result<Model, NmfError> {
+        Self::load_from(path, InputSource::Shared(input))
+    }
+
+    fn load_from(path: impl AsRef<Path>, input: InputSource<'_>) -> Result<Model, NmfError> {
         let ck = read_checkpoint(path.as_ref())?;
         let (m, n) = input.shape();
         if ck.meta.m != m {
@@ -976,7 +1039,7 @@ impl Model {
                 found: ck.meta.n,
             });
         }
-        Nmf::on(input)
+        Nmf::from_source(input)
             .config(ck.meta.config)
             .algo(ck.meta.algo)
             .ranks(ck.meta.ranks)

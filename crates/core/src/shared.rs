@@ -1,0 +1,423 @@
+//! Shared pre-sharded inputs: extract per-rank blocks once, reuse them
+//! everywhere.
+//!
+//! The paper's MPI-FAUN algorithms assume each rank owns its block of
+//! `A` *once* and reuses it every iteration — but a plain
+//! [`Nmf::on`](crate::session::Nmf::on)`(…).build()` re-extracts the
+//! per-rank blocks from the whole resident matrix on every call, so a
+//! rank sweep, a [`refit`](crate::session::Model::refit) after a
+//! checkpoint reload, or ten serving tenants over one dataset all pay
+//! the sharding cost again.
+//!
+//! [`SharedInput`] fixes the ownership: it holds the source matrix
+//! (resident, or a memory-mapped `NMFS` file that never fully loads)
+//! plus a cache of per-rank block sets keyed by the distribution shape
+//! ([`ShardKey`]). Blocks are `Arc`'d [`LocalMat`]s, so every build that
+//! asks for the same grid shape hands the *same* resident blocks to its
+//! rank threads — cloning an `Arc`, not a matrix. Sparse blocks carry
+//! CSR + CSC views over one values ordering (see [`nmf_sparse::SpBlock`]),
+//! so the one-time extraction also pays the one-time column-view build
+//! that makes `Aᵀ·W` a forward-traversal kernel.
+//!
+//! ```
+//! use hpc_nmf::prelude::*;
+//! use nmf_matrix::{rng::Fill, Mat};
+//!
+//! let shared = SharedInput::new(Input::Dense(Mat::uniform(30, 20, 7)));
+//! for k in [2, 3, 4] {
+//!     let mut model = Nmf::on_shared(&shared)
+//!         .rank(k)
+//!         .ranks(4)
+//!         .algo(Algo::Hpc2D)
+//!         .max_iters(2)
+//!         .build()
+//!         .expect("valid request");
+//!     model.run();
+//! }
+//! assert_eq!(shared.extractions(), 1); // one sharding served all three
+//! ```
+//!
+//! Out-of-core ingest goes through [`SharedInput::open_mmap`]: block
+//! extraction streams bounded row panels of the file (see
+//! [`nmf_sparse::io::MmapCsr`]), so peak memory is the extracted blocks
+//! plus one panel window — the dense whole is never materialized, and
+//! the extracted blocks are bit-identical to what the resident path
+//! produces.
+
+use crate::dist::Dist1D;
+use crate::error::NmfError;
+use crate::grid::Grid;
+use crate::input::{Input, LocalMat};
+use crate::session::hpc_rank_layout;
+use nmf_sparse::io::{MmError, MmapCsr, DEFAULT_PANEL_BYTES};
+use nmf_sparse::{Csr, SpBlock};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One rank's share of the input matrix. Cloning is cheap — blocks are
+/// behind `Arc`s — which is what lets a cached sharding fan out to any
+/// number of builds.
+#[derive(Clone)]
+pub(crate) enum RankData {
+    /// One 2D (or whole-matrix) block.
+    Single(Arc<LocalMat>),
+    /// The naive algorithm's doubly-stored 1D stripes.
+    Split {
+        row: Arc<LocalMat>,
+        col: Arc<LocalMat>,
+    },
+}
+
+impl RankData {
+    fn resident_bytes(&self) -> usize {
+        match self {
+            RankData::Single(a) => a.resident_bytes(),
+            RankData::Split { row, col } => row.resident_bytes() + col.resident_bytes(),
+        }
+    }
+}
+
+/// How the input is dealt onto ranks — the cache key of a sharding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ShardKey {
+    /// The whole matrix on a single rank (sequential).
+    Seq,
+    /// 1D row stripes plus 1D column stripes over `p` ranks (naive).
+    Naive { p: usize },
+    /// 2D blocks on a `pr × pc` grid (MPI-FAUN).
+    Grid { pr: usize, pc: usize },
+}
+
+/// The matrix behind a [`SharedInput`].
+enum Source {
+    /// Fully resident, dense or sparse.
+    Resident(Input),
+    /// An `NMFS` file, read in bounded row-panel windows.
+    Mmap(MmapCsr),
+}
+
+/// A shareable, shard-once input. See the [module docs](self).
+///
+/// `SharedInput` is `Send + Sync`; wrap it in an `Arc` to share one
+/// dataset across threads or serving tenants.
+pub struct SharedInput {
+    source: Source,
+    m: usize,
+    n: usize,
+    norm_a_sq: f64,
+    cache: Mutex<HashMap<ShardKey, Arc<Vec<RankData>>>>,
+    /// How many distinct shardings have been extracted (cache misses).
+    extractions: AtomicUsize,
+}
+
+impl SharedInput {
+    /// Wraps a resident input matrix.
+    pub fn new(input: Input) -> SharedInput {
+        let (m, n) = input.shape();
+        let norm_a_sq = input.fro_norm_sq();
+        SharedInput {
+            source: Source::Resident(input),
+            m,
+            n,
+            norm_a_sq,
+            cache: Mutex::new(HashMap::new()),
+            extractions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Opens an `NMFS` file (see [`nmf_sparse::io::write_csr_binary`])
+    /// for panel-streamed sharding. Only the header and row pointers
+    /// stay mapped; `‖A‖²_F` is computed here with one bounded streaming
+    /// pass (bit-identical to the resident sum).
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<SharedInput, NmfError> {
+        let path = path.as_ref();
+        let wrap = |e: MmError| match e {
+            MmError::Io(source) => NmfError::Io {
+                path: path.to_path_buf(),
+                source,
+            },
+            MmError::Parse(reason) => NmfError::Corrupt {
+                path: path.to_path_buf(),
+                reason,
+            },
+        };
+        let mm = MmapCsr::open(path).map_err(wrap)?;
+        let norm_a_sq = mm.fro_norm_sq().map_err(wrap)?;
+        let (m, n) = mm.shape();
+        Ok(SharedInput {
+            source: Source::Mmap(mm),
+            m,
+            n,
+            norm_a_sq,
+            cache: Mutex::new(HashMap::new()),
+            extractions: AtomicUsize::new(0),
+        })
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.m
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.n
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Stored entries of the source (dense inputs count every entry).
+    pub fn nnz(&self) -> usize {
+        match &self.source {
+            Source::Resident(input) => input.nnz(),
+            Source::Mmap(mm) => mm.nnz(),
+        }
+    }
+
+    /// Squared Frobenius norm of the input (computed once at
+    /// construction).
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.norm_a_sq
+    }
+
+    pub fn is_sparse(&self) -> bool {
+        match &self.source {
+            Source::Resident(input) => input.is_sparse(),
+            Source::Mmap(_) => true,
+        }
+    }
+
+    /// Whether this input streams from an `NMFS` file instead of a
+    /// resident matrix.
+    pub fn is_mmap(&self) -> bool {
+        matches!(self.source, Source::Mmap(_))
+    }
+
+    /// How many times a sharding has actually been extracted (cache
+    /// misses). A rank sweep of any length over one algorithm shape
+    /// leaves this at 1 — the acceptance metric for block-extraction
+    /// sharing.
+    pub fn extractions(&self) -> usize {
+        self.extractions.load(Ordering::Relaxed)
+    }
+
+    /// Shardings currently cached.
+    pub fn cached_shardings(&self) -> usize {
+        self.cache.lock().expect("shard cache poisoned").len()
+    }
+
+    /// Resident heap bytes held by this input: the source matrix (0 for
+    /// mmap-backed inputs — the file pages are the kernel's) plus every
+    /// cached sharding's blocks. The serving layer charges these bytes
+    /// once per *dataset*, not once per tenant.
+    pub fn resident_bytes(&self) -> usize {
+        let source = match &self.source {
+            Source::Resident(Input::Dense(a)) => 8 * a.len(),
+            Source::Resident(Input::Sparse(a)) => {
+                8 * a.nnz() + std::mem::size_of::<usize>() * (a.indptr().len() + a.indices().len())
+            }
+            Source::Mmap(_) => 0,
+        };
+        let cache = self.cache.lock().expect("shard cache poisoned");
+        source
+            + cache
+                .values()
+                .flat_map(|set| set.iter())
+                .map(RankData::resident_bytes)
+                .sum::<usize>()
+    }
+
+    /// The per-rank blocks for `key`, extracting them on first request
+    /// and serving the cached `Arc` afterwards.
+    pub(crate) fn rank_data(&self, key: ShardKey) -> Arc<Vec<RankData>> {
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        if let Some(hit) = cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        self.extractions.fetch_add(1, Ordering::Relaxed);
+        let set = Arc::new(extract_rank_data(
+            &|r0, c0, nr, nc| self.block(r0, c0, nr, nc),
+            key,
+            self.m,
+            self.n,
+        ));
+        cache.insert(key, Arc::clone(&set));
+        set
+    }
+
+    /// Drops all cached shardings (the blocks themselves survive as
+    /// long as live models hold their `Arc`s).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("shard cache poisoned").clear();
+    }
+
+    /// Extracts one block from the source, streaming row panels when
+    /// the source is mmap-backed.
+    fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> LocalMat {
+        match &self.source {
+            Source::Resident(input) => input.block(r0, c0, nr, nc),
+            Source::Mmap(mm) => LocalMat::Sparse(SpBlock::from_csr(mmap_block(mm, r0, c0, nr, nc))),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedInput")
+            .field("shape", &(self.m, self.n))
+            .field("mmap", &self.is_mmap())
+            .field("extractions", &self.extractions())
+            .field("cached_shardings", &self.cached_shardings())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Extracts the per-rank block set for a distribution shape, pulling
+/// blocks through `block` (which hides resident vs mmap sourcing). The
+/// single source of truth for which block every rank owns — the session
+/// uses the same function whether or not the input is shared.
+pub(crate) fn extract_rank_data(
+    block: &dyn Fn(usize, usize, usize, usize) -> LocalMat,
+    key: ShardKey,
+    m: usize,
+    n: usize,
+) -> Vec<RankData> {
+    match key {
+        ShardKey::Seq => vec![RankData::Single(Arc::new(block(0, 0, m, n)))],
+        ShardKey::Naive { p } => {
+            let dist_m = Dist1D::new(m, p);
+            let dist_n = Dist1D::new(n, p);
+            (0..p)
+                .map(|r| {
+                    let rows = dist_m.part(r);
+                    let cols = dist_n.part(r);
+                    RankData::Split {
+                        row: Arc::new(block(rows.offset, 0, rows.len, n)),
+                        col: Arc::new(block(0, cols.offset, m, cols.len)),
+                    }
+                })
+                .collect()
+        }
+        ShardKey::Grid { pr, pc } => {
+            let grid = Grid::new(pr, pc);
+            (0..pr * pc)
+                .map(|r| {
+                    let lay = hpc_rank_layout(grid, m, n, r);
+                    RankData::Single(Arc::new(block(
+                        lay.rows.offset,
+                        lay.cols.offset,
+                        lay.rows.len,
+                        lay.cols.len,
+                    )))
+                })
+                .collect()
+        }
+    }
+}
+
+/// `Csr::block` semantics over an mmap-backed file, streaming bounded
+/// row panels and stacking their column windows — peak mapped bytes is
+/// one panel, never the file. The per-row data is identical to what
+/// `Csr::block` produces on the resident matrix, so the result is
+/// bit-identical.
+fn mmap_block(mm: &MmapCsr, r0: usize, c0: usize, nr: usize, nc: usize) -> Csr {
+    let step = mm.panel_rows_for_budget(DEFAULT_PANEL_BYTES);
+    let mut parts = Vec::new();
+    let mut r = r0;
+    while r < r0 + nr {
+        let h = step.min(r0 + nr - r);
+        let panel = mm
+            .panel(r, h)
+            .unwrap_or_else(|e| panic!("mmap panel read failed: {e}"));
+        parts.push(panel.cols_block(c0, nc));
+        r += h;
+    }
+    Csr::vstack(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmf_matrix::rng::Fill;
+    use nmf_matrix::Mat;
+    use nmf_sparse::gen::erdos_renyi;
+    use nmf_sparse::io::write_csr_binary_path;
+
+    fn block_of(lm: &LocalMat) -> &SpBlock {
+        match lm {
+            LocalMat::Sparse(b) => b,
+            LocalMat::Dense(_) => panic!("expected a sparse block"),
+        }
+    }
+
+    #[test]
+    fn cache_hits_do_not_re_extract() {
+        let shared = SharedInput::new(Input::Dense(Mat::uniform(12, 10, 3)));
+        let a = shared.rank_data(ShardKey::Grid { pr: 2, pc: 2 });
+        let b = shared.rank_data(ShardKey::Grid { pr: 2, pc: 2 });
+        assert_eq!(shared.extractions(), 1);
+        // Same Arc'd blocks, not equal copies.
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (RankData::Single(p), RankData::Single(q)) => assert!(Arc::ptr_eq(p, q)),
+                _ => panic!("grid sharding must be Single blocks"),
+            }
+        }
+        shared.rank_data(ShardKey::Seq);
+        assert_eq!(shared.extractions(), 2);
+        assert_eq!(shared.cached_shardings(), 2);
+        shared.clear_cache();
+        assert_eq!(shared.cached_shardings(), 0);
+    }
+
+    #[test]
+    fn mmap_sharding_matches_resident_sharding() {
+        let a = erdos_renyi(37, 29, 0.15, 5);
+        let path = std::env::temp_dir().join(format!("nmf-shared-{}.nmfs", std::process::id()));
+        write_csr_binary_path(&a, &path).unwrap();
+        let resident = SharedInput::new(Input::Sparse(a));
+        let mapped = SharedInput::open_mmap(&path).unwrap();
+        assert_eq!(mapped.shape(), resident.shape());
+        assert_eq!(
+            mapped.fro_norm_sq().to_bits(),
+            resident.fro_norm_sq().to_bits()
+        );
+        for key in [
+            ShardKey::Seq,
+            ShardKey::Naive { p: 3 },
+            ShardKey::Grid { pr: 3, pc: 2 },
+        ] {
+            let rs = resident.rank_data(key);
+            let ms = mapped.rank_data(key);
+            assert_eq!(rs.len(), ms.len());
+            for (x, y) in rs.iter().zip(ms.iter()) {
+                match (x, y) {
+                    (RankData::Single(p), RankData::Single(q)) => {
+                        assert_eq!(block_of(p).csr(), block_of(q).csr());
+                    }
+                    (
+                        RankData::Split { row: r1, col: c1 },
+                        RankData::Split { row: r2, col: c2 },
+                    ) => {
+                        assert_eq!(block_of(r1).csr(), block_of(r2).csr());
+                        assert_eq!(block_of(c1).csr(), block_of(c2).csr());
+                    }
+                    _ => panic!("sharding variants must agree"),
+                }
+            }
+        }
+        assert!(mapped.resident_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resident_bytes_count_source_and_cache() {
+        let shared = SharedInput::new(Input::Sparse(erdos_renyi(20, 20, 0.1, 1)));
+        let base = shared.resident_bytes();
+        assert!(base > 0);
+        shared.rank_data(ShardKey::Grid { pr: 2, pc: 2 });
+        assert!(shared.resident_bytes() > base);
+    }
+}

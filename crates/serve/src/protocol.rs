@@ -159,6 +159,11 @@ pub struct TenantReport {
     pub active_jobs: u64,
     pub queued_jobs: u64,
     pub resident_bytes: u64,
+    /// Resident bytes of the server's shared dataset cache. Shared
+    /// inputs are charged once per *dataset*, not once per tenant, so
+    /// every tenant sees the same (deduplicated) figure — two tenants
+    /// over one dataset do not double it.
+    pub shared_input_bytes: u64,
 }
 
 /// Client → server messages.
@@ -663,6 +668,7 @@ impl Response {
                 put_u64(&mut out, t.active_jobs);
                 put_u64(&mut out, t.queued_jobs);
                 put_u64(&mut out, t.resident_bytes);
+                put_u64(&mut out, t.shared_input_bytes);
             }
             Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
             Response::Error { code, message } => {
@@ -727,6 +733,7 @@ impl Response {
                 active_jobs: w.u64()?,
                 queued_jobs: w.u64()?,
                 resident_bytes: w.u64()?,
+                shared_input_bytes: w.u64()?,
             }),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
             RESP_ERROR => {
@@ -887,6 +894,7 @@ mod tests {
                 active_jobs: 1,
                 queued_jobs: 1,
                 resident_bytes: 1 << 20,
+                shared_input_bytes: 3 << 20,
             }),
             Response::ShuttingDown,
             Response::Error {

@@ -26,7 +26,19 @@ use hpc_nmf::input::Input;
 use hpc_nmf::prelude::*;
 use nmf_data::DatasetKind;
 use nmf_matrix::Mat;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identity of a cacheable dataset source: `(kind, scale, seed)`.
+/// Dense inline sources are never cached — they are tenant-provided
+/// payloads, not named datasets.
+pub(crate) type DatasetKey = (String, usize, u64);
+
+/// The server-wide shared-input cache: one [`SharedInput`] per distinct
+/// dataset, handed to every job (from any tenant) that names it. The
+/// `SharedInput` in turn caches its per-rank shardings, so ten tenants
+/// factorizing one corpus share both the matrix and its blocks.
+pub(crate) type DatasetCache = HashMap<DatasetKey, Arc<SharedInput>>;
 
 /// Per-tenant admission limits.
 #[derive(Clone, Copy, Debug)]
@@ -137,6 +149,8 @@ impl Tenant {
 /// scheduling thread; never shared.
 pub struct Registry {
     pub(crate) tenants: BTreeMap<String, Tenant>,
+    /// Shared inputs keyed by dataset identity — see [`DatasetCache`].
+    pub(crate) datasets: DatasetCache,
     default_quota: TenantQuota,
     /// Server-wide cap on virtual ranks per job (each rank is an OS
     /// thread; an unchecked spec could ask for thousands).
@@ -148,6 +162,7 @@ impl Registry {
     pub fn new(default_quota: TenantQuota, max_ranks_per_job: usize) -> Registry {
         Registry {
             tenants: BTreeMap::new(),
+            datasets: DatasetCache::new(),
             default_quota,
             max_ranks_per_job: max_ranks_per_job.max(1),
             next_job: 1,
@@ -327,7 +342,26 @@ impl Registry {
             active_jobs: t.active_jobs() as u64,
             queued_jobs: t.queue.len() as u64,
             resident_bytes: t.resident_bytes() as u64,
+            shared_input_bytes: self.shared_input_bytes() as u64,
         })
+    }
+
+    /// Resident bytes of the shared dataset cache, deduplicated by
+    /// dataset identity: a dataset referenced by every tenant on the
+    /// server is counted once.
+    pub fn shared_input_bytes(&self) -> usize {
+        self.datasets.values().map(|s| s.resident_bytes()).sum()
+    }
+
+    /// Distinct datasets currently cached.
+    pub fn cached_datasets(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Split borrow for the scheduler's promotion phase: tenants to
+    /// walk, dataset cache to resolve specs against.
+    pub(crate) fn promotion_parts(&mut self) -> (&mut BTreeMap<String, Tenant>, &mut DatasetCache) {
+        (&mut self.tenants, &mut self.datasets)
     }
 
     /// Total engine steps completed per tenant (for fairness checks and
@@ -381,11 +415,37 @@ pub(crate) fn build_input(source: &JobSource) -> Result<Input, String> {
     }
 }
 
-/// Builds the model a spec describes (the promotion step). The input is
-/// dropped afterwards — the model owns copies of its per-rank blocks.
-pub(crate) fn build_model(spec: &JobSpec) -> Result<Model, String> {
-    let input = build_input(&spec.source)?;
-    let mut b = Nmf::on(&input)
+/// Builds the model a spec describes (the promotion step).
+///
+/// Dataset sources resolve through `datasets`, the server-wide
+/// [`DatasetCache`]: the first job naming a dataset builds its
+/// [`SharedInput`] (and, via the builder, its sharding); later jobs —
+/// any tenant, any rank `k` — reuse the cached blocks through `Arc`
+/// clones. Dense inline sources stay per-job: the input is dropped
+/// after the build and the model owns copies of its per-rank blocks.
+pub(crate) fn build_model(spec: &JobSpec, datasets: &mut DatasetCache) -> Result<Model, String> {
+    let shared = match &spec.source {
+        JobSource::Dataset { kind, scale, seed } => {
+            let key = (kind.clone(), (*scale).max(1), *seed);
+            match datasets.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(Arc::clone(e.get())),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let input = build_input(&spec.source)?;
+                    Some(Arc::clone(e.insert(Arc::new(SharedInput::new(input)))))
+                }
+            }
+        }
+        JobSource::Dense { .. } => None,
+    };
+    let resident;
+    let mut b = match &shared {
+        Some(s) => Nmf::on_shared(s),
+        None => {
+            resident = build_input(&spec.source)?;
+            Nmf::on(&resident)
+        }
+    };
+    b = b
         .rank(spec.k)
         .ranks(spec.ranks)
         .algo(spec.algo)

@@ -95,7 +95,8 @@ impl Scheduler {
 
     /// Builds queued jobs into running models while slots are free.
     fn promote(&mut self, reg: &mut Registry, report: &mut QuantumReport) {
-        for tenant in reg.tenants.values_mut() {
+        let (tenants, datasets) = reg.promotion_parts();
+        for tenant in tenants.values_mut() {
             while tenant.active_jobs() < tenant.quota.max_concurrent_jobs {
                 let Some(&job_id) = tenant.queue.front() else {
                     break;
@@ -103,7 +104,7 @@ impl Scheduler {
                 tenant.queue.pop_front();
                 let job = tenant.jobs.get_mut(&job_id).expect("queued job exists");
                 let spec = job.spec.take().expect("queued job keeps its spec");
-                match build_model(&spec) {
+                match build_model(&spec, datasets) {
                     Ok(model) => {
                         job.bytes = model.factor_bytes();
                         job.model = Some(model);

@@ -382,7 +382,8 @@ mod tests {
         client.shutdown().expect("shutdown");
         core.join().expect("core thread");
 
-        let mut local = crate::registry::build_model(&s).expect("local build");
+        let mut local =
+            crate::registry::build_model(&s, &mut Default::default()).expect("local build");
         local.step_up_to(s.max_iters);
         let (w_local, h_local) = local.factors();
         assert_eq!(w_served.as_slice(), w_local.as_slice(), "W bit-identical");

@@ -1,0 +1,88 @@
+//! Dataset sharing across tenants: two tenants factorizing one dataset
+//! hold one `SharedInput` between them — the shared bytes are charged
+//! once server-wide, never doubled per tenant — while the per-tenant
+//! factor-byte quota keeps rejecting exactly as before.
+
+use hpc_nmf::harness::Algo;
+use nmf_nls::SolverKind;
+use nmf_serve::{
+    JobSource, JobSpec, Registry, Scheduler, SchedulerConfig, ServeError, TenantQuota,
+};
+
+/// An SSYN job small enough to step quickly (scale 2400 → 72×48).
+fn dataset_spec(seed: u64, iters: usize) -> JobSpec {
+    JobSpec {
+        source: JobSource::Dataset {
+            kind: "ssyn".into(),
+            scale: 2400,
+            seed,
+        },
+        k: 3,
+        ranks: 1,
+        algo: Algo::Sequential,
+        solver: SolverKind::Bpp,
+        max_iters: iters,
+        seed,
+        tol: None,
+    }
+}
+
+#[test]
+fn two_tenants_share_one_dataset_without_doubling_bytes() {
+    let mut reg = Registry::new(TenantQuota::default(), 4);
+    reg.submit("alice", dataset_spec(7, 50)).expect("admit");
+    reg.submit("bob", dataset_spec(7, 50)).expect("admit");
+
+    // Promotion (inside the quantum) builds both models; the second
+    // build must hit the cache, not add a second copy.
+    let mut sched = Scheduler::new(SchedulerConfig { grant_steps: 2 });
+    sched.run_quantum(&mut reg);
+
+    assert_eq!(reg.cached_datasets(), 1, "one dataset identity, one entry");
+    let shared = reg.shared_input_bytes();
+    assert!(shared > 0, "a cached sparse dataset holds resident bytes");
+
+    let alice = reg.tenant_report("alice").expect("report");
+    let bob = reg.tenant_report("bob").expect("report");
+    assert_eq!(alice.shared_input_bytes, shared as u64);
+    assert_eq!(
+        alice.shared_input_bytes, bob.shared_input_bytes,
+        "both tenants see the same deduplicated figure"
+    );
+
+    // A different seed is a different dataset identity: now (and only
+    // now) the cache grows.
+    reg.submit("carol", dataset_spec(8, 50)).expect("admit");
+    sched.run_quantum(&mut reg);
+    assert_eq!(reg.cached_datasets(), 2);
+    assert!(reg.shared_input_bytes() > shared);
+}
+
+#[test]
+fn factor_byte_quota_still_rejects_regardless_of_sharing() {
+    // Quota sized for exactly one k=3 job over the 72×48 dataset:
+    // factor bytes are 8·(m+n)·k per job; the shared input bytes are
+    // charged server-wide and must NOT count against this budget.
+    let one_job = 8 * (72 + 48) * 3;
+    let quota = TenantQuota {
+        max_resident_bytes: one_job + one_job / 2,
+        ..TenantQuota::default()
+    };
+    let mut reg = Registry::new(quota, 4);
+    reg.submit("dave", dataset_spec(7, 50)).expect("first fits");
+    let err = reg
+        .submit("dave", dataset_spec(7, 50))
+        .expect_err("second job must breach the factor-byte quota");
+    assert!(
+        matches!(err, ServeError::QuotaBytes { .. }),
+        "expected QuotaBytes, got {err:?}"
+    );
+
+    // The same second job is fine for another tenant: the quota is
+    // per-tenant factor bytes, and the dataset they share is free.
+    let mut sched = Scheduler::new(SchedulerConfig { grant_steps: 1 });
+    sched.run_quantum(&mut reg);
+    reg.submit("erin", dataset_spec(7, 50)).expect("admit");
+    sched.run_quantum(&mut reg);
+    assert_eq!(reg.cached_datasets(), 1);
+}

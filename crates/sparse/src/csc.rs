@@ -1,0 +1,254 @@
+//! Compressed sparse column *view* over a CSR matrix.
+//!
+//! The `Aᵀ·W` kernel is the sparse bottleneck of the ANLS iteration:
+//! driven from CSR it scatters one length-`k` axpy into a different
+//! output row per visited nonzero (the "transposed pass"), so the
+//! output is written with no locality. Traversing the same nonzeros
+//! column-by-column turns the product into a forward pass — each output
+//! row is accumulated once, start to finish, while only the *reads* of
+//! `W` hop around — which is the cache-friendly orientation when
+//! `k`-rows fit in registers/L1 (see [`crate::spmm::spmm_at_dense_csc_into`]).
+//!
+//! [`CscView`] stores the column structure (`colptr`, `rowind`) plus,
+//! for every CSC-ordered nonzero, the *position* of its value in the
+//! owning CSR's row-major values array — one shared values ordering,
+//! never a second copy of the numerical payload. A rank block keeps
+//! both views over the one buffer ([`SpBlock`]).
+
+use crate::csr::Csr;
+
+/// The column-major index structure of a CSR matrix, sharing its values.
+///
+/// `colptr` has length `ncols + 1`; column `j`'s nonzeros live at
+/// `rowind[colptr[j]..colptr[j+1]]` (row indices, strictly increasing)
+/// and their values at `csr.values()[src[p]]` for `p` in the same range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CscView {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<usize>,
+    /// Position in the CSR values array of each CSC-ordered nonzero.
+    src: Vec<usize>,
+}
+
+impl CscView {
+    /// Builds the column view of `a` (counting sort over columns,
+    /// `O(nnz + ncols)`). Row indices within each column come out
+    /// strictly increasing because CSR rows are scanned in order —
+    /// the property that makes the CSC kernel bit-identical to the
+    /// CSR transposed pass (same additions, same order).
+    pub fn from_csr(a: &Csr) -> CscView {
+        let mut counts = vec![0usize; a.ncols() + 1];
+        for &j in a.indices() {
+            counts[j + 1] += 1;
+        }
+        for j in 0..a.ncols() {
+            counts[j + 1] += counts[j];
+        }
+        let colptr = counts.clone();
+        let mut rowind = vec![0usize; a.nnz()];
+        let mut src = vec![0usize; a.nnz()];
+        let mut next = counts;
+        for i in 0..a.nrows() {
+            let lo = a.indptr()[i];
+            let hi = a.indptr()[i + 1];
+            for (p, &j) in (lo..hi).zip(&a.indices()[lo..hi]) {
+                let q = next[j];
+                rowind[q] = i;
+                src[q] = p;
+                next[j] += 1;
+            }
+        }
+        CscView {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            colptr,
+            rowind,
+            src,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Column `j` as `(row indices, CSR value positions)` slices.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[usize]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rowind[lo..hi], &self.src[lo..hi])
+    }
+
+    /// Whether this view indexes `a` (shape and nonzero count match;
+    /// cheap sanity check used by the kernels' debug assertions).
+    pub fn matches(&self, a: &Csr) -> bool {
+        self.nrows == a.nrows() && self.ncols == a.ncols() && self.nnz() == a.nnz()
+    }
+
+    /// Reconstructs the CSR the view was built from, reading values
+    /// through the shared ordering (round-trip test support).
+    pub fn to_csr(&self, values: &[f64]) -> Csr {
+        assert_eq!(values.len(), self.nnz(), "values length must equal nnz");
+        // Transpose the column structure back to rows with the same
+        // counting sort; to_csr ∘ from_csr is the identity.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &i in &self.rowind {
+            counts[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for j in 0..self.ncols {
+            let (rows, src) = self.col(j);
+            for (&i, &p) in rows.iter().zip(src) {
+                let q = next[i];
+                indices[q] = j;
+                vals[q] = values[p];
+                next[i] += 1;
+            }
+        }
+        Csr::from_parts(self.nrows, self.ncols, indptr, indices, vals)
+    }
+
+    /// Heap bytes held by the view's three index arrays.
+    pub fn index_bytes(&self) -> usize {
+        std::mem::size_of::<usize>() * (self.colptr.len() + self.rowind.len() + self.src.len())
+    }
+}
+
+/// One rank's sparse block: a CSR and its column view over one shared
+/// values buffer. `A·Hᵀ` runs the row-major kernel off the CSR; `Aᵀ·W`
+/// runs the forward-traversal kernel off the CSC view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpBlock {
+    csr: Csr,
+    csc: CscView,
+}
+
+impl SpBlock {
+    /// Wraps a CSR block, building its column view once (the per-shard
+    /// cost that `hpc_nmf`'s `SharedInput` cache amortizes across
+    /// builds).
+    pub fn from_csr(csr: Csr) -> SpBlock {
+        let csc = CscView::from_csr(&csr);
+        SpBlock { csr, csc }
+    }
+
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    #[inline]
+    pub fn csc(&self) -> &CscView {
+        &self.csc
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.csr.fro_norm_sq()
+    }
+
+    /// Resident heap bytes of the block (values + both index sets).
+    pub fn resident_bytes(&self) -> usize {
+        let usz = std::mem::size_of::<usize>();
+        8 * self.csr.nnz()
+            + usz * (self.csr.indptr().len() + self.csr.indices().len())
+            + self.csc.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen::banded;
+
+    fn sample() -> Csr {
+        let mut c = Coo::new(4, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(2, 0, 3.0);
+        c.push(2, 1, 4.0);
+        c.push(3, 2, 5.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn column_view_matches_transpose() {
+        let a = sample();
+        let v = CscView::from_csr(&a);
+        assert!(v.matches(&a));
+        let t = a.transpose();
+        for j in 0..a.ncols() {
+            let (rows, src) = v.col(j);
+            let (trows, tvals) = t.row(j);
+            assert_eq!(rows, trows, "column {j} row set");
+            let vals: Vec<f64> = src.iter().map(|&p| a.values()[p]).collect();
+            assert_eq!(vals, tvals, "column {j} values via shared ordering");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let a = banded(17, 3);
+        let v = CscView::from_csr(&a);
+        assert_eq!(v.to_csr(a.values()), a);
+    }
+
+    #[test]
+    fn empty_rows_and_cols_are_fine() {
+        let a = Csr::empty(5, 7);
+        let v = CscView::from_csr(&a);
+        assert_eq!(v.nnz(), 0);
+        for j in 0..7 {
+            assert!(v.col(j).0.is_empty());
+        }
+        assert_eq!(v.to_csr(&[]), a);
+    }
+
+    #[test]
+    fn block_shares_the_values_buffer() {
+        let b = SpBlock::from_csr(sample());
+        assert_eq!(b.nnz(), 5);
+        // The view carries positions, not values: every position is a
+        // valid index into the one CSR buffer.
+        for j in 0..b.ncols() {
+            for &p in b.csc().col(j).1 {
+                assert!(p < b.csr().values().len());
+            }
+        }
+        assert!(b.resident_bytes() > 8 * b.nnz());
+    }
+}

@@ -135,6 +135,25 @@ impl Csr {
         (&self.indices[lo..hi], &self.values[lo..hi])
     }
 
+    /// The row-pointer array (`nrows + 1` entries, ends at `nnz`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// All column indices in row-major nonzero order.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// All stored values in row-major nonzero order — the canonical
+    /// values ordering that [`crate::csc::CscView`] indexes into.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Entry `(i, j)` via binary search within the row (0 if absent).
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (cols, vals) = self.row(i);
@@ -225,6 +244,37 @@ impl Csr {
         self.block(0, c0, self.nrows, nc)
     }
 
+    /// Stacks row-blocks vertically into one matrix. Every block must
+    /// have the same column count; an empty slice is a `0 × 0` matrix.
+    ///
+    /// Rows keep their data verbatim, so for any row split
+    /// `vstack(&[a.rows_block(0, r), a.rows_block(r, m - r)]) == a` —
+    /// the identity the panel-streaming ingest leans on to rebuild
+    /// column stripes without mapping the whole file.
+    pub fn vstack(blocks: &[Csr]) -> Csr {
+        let ncols = blocks.first().map_or(0, |b| b.ncols);
+        let nrows: usize = blocks.iter().map(|b| b.nrows).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for b in blocks {
+            assert_eq!(b.ncols, ncols, "vstack blocks must agree on ncols");
+            let base = indices.len();
+            indptr.extend(b.indptr[1..].iter().map(|&p| base + p));
+            indices.extend_from_slice(&b.indices);
+            values.extend_from_slice(&b.values);
+        }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
     /// Per-row nonzero counts (degree sequence when the matrix is an
     /// adjacency matrix).
     pub fn row_degrees(&self) -> Vec<usize> {
@@ -306,6 +356,14 @@ mod tests {
         assert_eq!(nnz_sum, s.nnz());
         let nnz_sum_c: usize = (0..3).map(|j| s.cols_block(j, 1).nnz()).sum();
         assert_eq!(nnz_sum_c, s.nnz());
+    }
+
+    #[test]
+    fn vstack_inverts_row_splits() {
+        let s = Csr::from_dense(&Mat::uniform(11, 6, 4));
+        let parts = [s.rows_block(0, 4), s.rows_block(4, 5), s.rows_block(9, 2)];
+        assert_eq!(Csr::vstack(&parts), s);
+        assert_eq!(Csr::vstack(&[]).shape(), (0, 0));
     }
 
     #[test]

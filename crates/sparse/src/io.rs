@@ -1,4 +1,4 @@
-//! Matrix Market I/O.
+//! Matrix I/O: Matrix Market text and the binary out-of-core format.
 //!
 //! The paper's real-world inputs (webbase-2001 and the like) ship as
 //! Matrix Market files; this module reads and writes the two formats the
@@ -11,11 +11,22 @@
 //!
 //! Pattern files (`coordinate pattern`) are read with all nonzeros set
 //! to 1.0, the convention for adjacency matrices.
+//!
+//! For matrices larger than RAM there is additionally a little-endian
+//! binary CSR container (`NMFS`, see [`write_csr_binary`]) and a
+//! memory-mapped panel-streaming reader ([`MmapCsr`]) that never maps
+//! more than the header, the row pointers, and one row panel's indices
+//! and values at a time — the ingest side of the shared pre-sharded
+//! input layer.
 
 use crate::coo::Coo;
 use crate::csr::Csr;
 use nmf_matrix::Mat;
+use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
 
 /// Errors from Matrix Market parsing.
 #[derive(Debug)]
@@ -247,6 +258,416 @@ pub fn write_matrix_market_dense(m: &Mat, writer: impl Write) -> Result<(), MmEr
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Binary CSR container ("NMFS") and memory-mapped panel streaming.
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening an `NMFS` binary CSR file.
+pub const NMFS_MAGIC: [u8; 4] = *b"NMFS";
+/// Current `NMFS` container version.
+pub const NMFS_VERSION: u32 = 1;
+/// Header bytes: magic, version, then `nrows`/`ncols`/`nnz` as `u64`.
+const NMFS_HEADER_LEN: usize = 32;
+
+/// Byte offset of the `indices` section for a matrix with `nrows` rows.
+fn nmfs_indices_off(nrows: usize) -> u64 {
+    NMFS_HEADER_LEN as u64 + 8 * (nrows as u64 + 1)
+}
+
+/// Byte offset of the `values` section.
+fn nmfs_values_off(nrows: usize, nnz: usize) -> u64 {
+    nmfs_indices_off(nrows) + 8 * nnz as u64
+}
+
+/// Writes `m` in the `NMFS` binary CSR container.
+///
+/// Layout (all little-endian, every section 8-aligned):
+///
+/// | offset              | contents                         |
+/// |---------------------|----------------------------------|
+/// | 0                   | magic `b"NMFS"`, version `u32`   |
+/// | 8                   | `nrows`, `ncols`, `nnz` as `u64` |
+/// | 32                  | `indptr`: `(nrows+1) × u64`      |
+/// | 32 + 8(nrows+1)     | `indices`: `nnz × u64`           |
+/// | … + 8·nnz           | `values`: `nnz × f64` (IEEE bits)|
+pub fn write_csr_binary(m: &Csr, writer: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&NMFS_MAGIC)?;
+    w.write_all(&NMFS_VERSION.to_le_bytes())?;
+    w.write_all(&(m.nrows() as u64).to_le_bytes())?;
+    w.write_all(&(m.ncols() as u64).to_le_bytes())?;
+    w.write_all(&(m.nnz() as u64).to_le_bytes())?;
+    for &p in m.indptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &j in m.indices() {
+        w.write_all(&(j as u64).to_le_bytes())?;
+    }
+    for &v in m.values() {
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Writes `m` as an `NMFS` file at `path` (see [`write_csr_binary`]).
+pub fn write_csr_binary_path(m: &Csr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_csr_binary(m, File::create(path)?)
+}
+
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+/// Reads a whole `NMFS` stream into a resident [`Csr`] (the in-RAM
+/// parity path for [`MmapCsr`]; loads everything, so only for matrices
+/// that fit in memory).
+pub fn read_csr_binary(reader: impl Read) -> Result<Csr, MmError> {
+    let mut r = BufReader::new(reader);
+    let mut head = [0u8; NMFS_HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let (nrows, ncols, nnz) = parse_nmfs_header(&head)?;
+    let mut read_u64s = |n: usize| -> Result<Vec<u64>, MmError> {
+        let mut buf = vec![0u8; 8 * n];
+        r.read_exact(&mut buf)?;
+        Ok((0..n).map(|i| le_u64(&buf, 8 * i)).collect())
+    };
+    let indptr: Vec<usize> = read_u64s(nrows + 1)?.iter().map(|&x| x as usize).collect();
+    let indices: Vec<usize> = read_u64s(nnz)?.iter().map(|&x| x as usize).collect();
+    let values: Vec<f64> = read_u64s(nnz)?.iter().map(|&x| f64::from_bits(x)).collect();
+    Ok(Csr::from_parts(nrows, ncols, indptr, indices, values))
+}
+
+fn parse_nmfs_header(head: &[u8; NMFS_HEADER_LEN]) -> Result<(usize, usize, usize), MmError> {
+    if head[..4] != NMFS_MAGIC {
+        return Err(parse_err("not an NMFS file (bad magic)"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != NMFS_VERSION {
+        return Err(parse_err(format!("unsupported NMFS version {version}")));
+    }
+    Ok((
+        le_u64(head, 8) as usize,
+        le_u64(head, 16) as usize,
+        le_u64(head, 24) as usize,
+    ))
+}
+
+// Minimal mmap FFI. std already links libc on Linux, so declaring the
+// two symbols directly avoids a dependency on the `libc` crate (the
+// container has no network access for new crates).
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> c_int;
+}
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+
+/// mmap offsets must be page-aligned; 64 KiB is a multiple of every
+/// page size in common use (4K/16K/64K), so aligning down to it is
+/// always valid and needs no `sysconf` call.
+const MAP_ALIGN: u64 = 64 * 1024;
+
+/// A read-only mapping of a byte range of a file. The requested range
+/// need not be page-aligned; the window maps the enclosing aligned span
+/// and exposes just the requested bytes. Unmapped on drop.
+struct MapWindow {
+    base: *mut c_void,
+    map_len: usize,
+    skip: usize,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never mutated, so
+// sharing the window across threads is sound.
+unsafe impl Send for MapWindow {}
+unsafe impl Sync for MapWindow {}
+
+impl MapWindow {
+    fn map(file: &File, offset: u64, len: usize) -> std::io::Result<MapWindow> {
+        if len == 0 {
+            return Ok(MapWindow {
+                base: std::ptr::null_mut(),
+                map_len: 0,
+                skip: 0,
+                len: 0,
+            });
+        }
+        let aligned = offset - offset % MAP_ALIGN;
+        let skip = (offset - aligned) as usize;
+        let map_len = len + skip;
+        // SAFETY: valid fd, read-only private mapping, aligned offset.
+        let base = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                map_len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                aligned as i64,
+            )
+        };
+        if base as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(MapWindow {
+            base,
+            map_len,
+            skip,
+            len,
+        })
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: the mapping covers skip + len readable bytes.
+        unsafe { std::slice::from_raw_parts((self.base as *const u8).add(self.skip), self.len) }
+    }
+}
+
+impl Drop for MapWindow {
+    fn drop(&mut self) {
+        if self.map_len > 0 {
+            // SAFETY: base/map_len came from a successful mmap.
+            unsafe { munmap(self.base, self.map_len) };
+        }
+    }
+}
+
+/// A memory-mapped `NMFS` file, streamed by row panel.
+///
+/// Only the header and the row-pointer array are mapped for the lifetime
+/// of the handle (`8·(nrows+1)` bytes — megabytes even for web-scale row
+/// counts). Nonzero indices and values are mapped in per-panel windows
+/// ([`MmapCsr::panel`]) and unmapped when the panel drops, so peak
+/// address space stays near one panel regardless of file size — which is
+/// what lets an input larger than the memory rlimit shard onto the grid.
+pub struct MmapCsr {
+    file: File,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    /// Header + indptr, mapped eagerly.
+    head: MapWindow,
+}
+
+impl MmapCsr {
+    /// Opens an `NMFS` file, validating the header and section sizes.
+    pub fn open(path: impl AsRef<Path>) -> Result<MmapCsr, MmError> {
+        let file = File::open(path)?;
+        let mut head = [0u8; NMFS_HEADER_LEN];
+        (&file).read_exact(&mut head)?;
+        let (nrows, ncols, nnz) = parse_nmfs_header(&head)?;
+        let expect = nmfs_values_off(nrows, nnz) + 8 * nnz as u64;
+        let actual = file.metadata()?.len();
+        if actual != expect {
+            return Err(parse_err(format!(
+                "NMFS file truncated: {actual} bytes, expected {expect}"
+            )));
+        }
+        let head = MapWindow::map(&file, 0, NMFS_HEADER_LEN + 8 * (nrows + 1))?;
+        let m = MmapCsr {
+            file,
+            nrows,
+            ncols,
+            nnz,
+            head,
+        };
+        if m.indptr(0) != 0 || m.indptr(nrows) != nnz {
+            return Err(parse_err("NMFS indptr does not span [0, nnz]"));
+        }
+        Ok(m)
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Row pointer `i` (`0 ..= nrows`), read from the mapped header.
+    #[inline]
+    pub fn indptr(&self, i: usize) -> usize {
+        debug_assert!(i <= self.nrows);
+        le_u64(self.head.bytes(), NMFS_HEADER_LEN + 8 * i) as usize
+    }
+
+    /// Maps rows `r0 .. r0+nr` as a panel: one index window and one
+    /// value window covering exactly those rows' nonzeros.
+    pub fn panel(&self, r0: usize, nr: usize) -> Result<CsrPanel<'_>, MmError> {
+        assert!(r0 + nr <= self.nrows, "panel out of bounds");
+        let lo = self.indptr(r0);
+        let hi = self.indptr(r0 + nr);
+        let span = hi - lo;
+        let idx = MapWindow::map(
+            &self.file,
+            nmfs_indices_off(self.nrows) + 8 * lo as u64,
+            8 * span,
+        )?;
+        let val = MapWindow::map(
+            &self.file,
+            nmfs_values_off(self.nrows, self.nnz) + 8 * lo as u64,
+            8 * span,
+        )?;
+        let indptr: Vec<usize> = (0..=nr).map(|i| self.indptr(r0 + i) - lo).collect();
+        Ok(CsrPanel {
+            ncols: self.ncols,
+            indptr,
+            idx,
+            val,
+            _owner: std::marker::PhantomData,
+        })
+    }
+
+    /// Extracts the `(r0..r0+nr) × (c0..c0+nc)` block as an owned,
+    /// locally-reindexed [`Csr`] — the same contract as [`Csr::block`],
+    /// mapping only the `nr`-row panel while it works.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Result<Csr, MmError> {
+        assert!(c0 + nc <= self.ncols, "block out of bounds");
+        Ok(self.panel(r0, nr)?.cols_block(c0, nc))
+    }
+
+    /// Squared Frobenius norm, streamed over row panels so the whole
+    /// values section is never resident. Values are summed in file
+    /// order — the same order as [`Csr::fro_norm_sq`] on the resident
+    /// matrix, so the result is bit-identical.
+    pub fn fro_norm_sq(&self) -> Result<f64, MmError> {
+        let panel_rows = self.panel_rows_for_budget(DEFAULT_PANEL_BYTES);
+        let mut acc = 0.0;
+        let mut r0 = 0;
+        while r0 < self.nrows {
+            let nr = panel_rows.min(self.nrows - r0);
+            let p = self.panel(r0, nr)?;
+            for i in 0..nr {
+                let (_, vals) = p.row_scratch(i);
+                // One element at a time: the same left-to-right fold as
+                // `Csr::fro_norm_sq`, so the association (and bits) match.
+                for v in vals {
+                    acc += v * v;
+                }
+            }
+            r0 += nr;
+        }
+        Ok(acc)
+    }
+
+    /// A row-panel height that keeps one panel's mapped bytes near
+    /// `budget` for this matrix's average row density (at least 1 row).
+    pub fn panel_rows_for_budget(&self, budget: usize) -> usize {
+        if self.nnz == 0 || self.nrows == 0 {
+            return self.nrows.max(1);
+        }
+        let bytes_per_row = 16 * self.nnz / self.nrows + 1;
+        (budget / bytes_per_row).clamp(1, self.nrows)
+    }
+}
+
+/// Default per-panel byte budget for streaming traversals (16 MiB).
+pub const DEFAULT_PANEL_BYTES: usize = 16 << 20;
+
+/// A mapped window over a contiguous row range of an [`MmapCsr`].
+///
+/// Rows are addressed locally (`0 .. nr`). Indices and values are read
+/// straight out of the mapped file bytes; nothing is copied until a
+/// caller extracts an owned block.
+pub struct CsrPanel<'a> {
+    ncols: usize,
+    /// Local row pointers, rebased to the panel start (`nr + 1` entries).
+    indptr: Vec<usize>,
+    idx: MapWindow,
+    val: MapWindow,
+    _owner: std::marker::PhantomData<&'a MmapCsr>,
+}
+
+impl CsrPanel<'_> {
+    /// Number of rows in the panel.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Nonzeros mapped by the panel.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        *self.indptr.last().unwrap()
+    }
+
+    /// Local row `i` as `(column, value)` iterators decoded from the
+    /// mapped bytes.
+    #[inline]
+    pub fn row_scratch(
+        &self,
+        i: usize,
+    ) -> (
+        impl Iterator<Item = usize> + '_,
+        impl Iterator<Item = f64> + '_,
+    ) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        let ib = self.idx.bytes();
+        let vb = self.val.bytes();
+        (
+            (lo..hi).map(move |p| le_u64(ib, 8 * p) as usize),
+            (lo..hi).map(move |p| f64::from_bits(le_u64(vb, 8 * p))),
+        )
+    }
+
+    /// The whole panel as an owned [`Csr`] (all columns).
+    pub fn to_csr(&self) -> Csr {
+        self.cols_block(0, self.ncols)
+    }
+
+    /// Columns `c0 .. c0+nc` of the panel as an owned, locally
+    /// reindexed [`Csr`] — bit-identical to `Csr::block` on the
+    /// resident matrix over the same ranges.
+    pub fn cols_block(&self, c0: usize, nc: usize) -> Csr {
+        assert!(c0 + nc <= self.ncols, "column block out of bounds");
+        let c1 = c0 + nc;
+        let nr = self.nrows();
+        let mut indptr = Vec::with_capacity(nr + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut cols: Vec<usize> = Vec::new();
+        for i in 0..nr {
+            let (cit, vit) = self.row_scratch(i);
+            cols.clear();
+            cols.extend(cit);
+            // Columns are sorted within the row: binary search [c0, c1).
+            let lo = cols.partition_point(|&c| c < c0);
+            let hi = cols.partition_point(|&c| c < c1);
+            indices.extend(cols[lo..hi].iter().map(|&c| c - c0));
+            values.extend(vit.skip(lo).take(hi - lo));
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(nr, nc, indptr, indices, values)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +726,101 @@ mod tests {
         assert!(read_matrix_market(bad_bounds.as_bytes()).is_err());
         let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
         assert!(read_matrix_market(wrong_count.as_bytes()).is_err());
+    }
+
+    fn tmp_nmfs(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nmf-io-{tag}-{}.nmfs", std::process::id()))
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let m = crate::gen::erdos_renyi(23, 17, 0.2, 7);
+        let mut bytes = Vec::new();
+        write_csr_binary(&m, &mut bytes).unwrap();
+        assert_eq!(
+            bytes.len() as u64,
+            nmfs_values_off(23, m.nnz()) + 8 * m.nnz() as u64
+        );
+        let back = read_csr_binary(bytes.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn binary_preserves_negative_zero_and_nan_bits() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, -0.0);
+        c.push(1, 1, f64::NAN);
+        let m = c.to_csr();
+        let mut bytes = Vec::new();
+        write_csr_binary(&m, &mut bytes).unwrap();
+        let back = read_csr_binary(bytes.as_slice()).unwrap();
+        for (a, b) in m.values().iter().zip(back.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mmap_blocks_match_resident_blocks() {
+        let m = crate::gen::erdos_renyi(61, 43, 0.08, 11);
+        let path = tmp_nmfs("blocks");
+        write_csr_binary_path(&m, &path).unwrap();
+        let mm = MmapCsr::open(&path).unwrap();
+        assert_eq!(mm.shape(), m.shape());
+        assert_eq!(mm.nnz(), m.nnz());
+        // Tile with a ragged 3×2 grid and compare every block.
+        for (r0, nr) in [(0, 21), (21, 21), (42, 19)] {
+            for (c0, nc) in [(0, 22), (22, 21)] {
+                let a = mm.block(r0, c0, nr, nc).unwrap();
+                let b = m.block(r0, c0, nr, nc);
+                assert_eq!(a, b, "block ({r0},{c0})+({nr},{nc})");
+            }
+        }
+        // Panel-wise reconstruction and streamed norm agree bit-for-bit.
+        assert_eq!(mm.panel(17, 9).unwrap().to_csr(), m.rows_block(17, 9));
+        assert_eq!(
+            mm.fro_norm_sq().unwrap().to_bits(),
+            m.fro_norm_sq().to_bits()
+        );
+        drop(mm);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_handles_empty_rows_and_empty_matrix() {
+        let path = tmp_nmfs("empty");
+        let m = Csr::empty(5, 4);
+        write_csr_binary_path(&m, &path).unwrap();
+        let mm = MmapCsr::open(&path).unwrap();
+        assert_eq!(mm.nnz(), 0);
+        assert_eq!(mm.block(1, 1, 3, 2).unwrap(), Csr::empty(3, 2));
+        assert_eq!(mm.fro_norm_sq().unwrap(), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_rejects_bad_files() {
+        let path = tmp_nmfs("bad");
+        std::fs::write(&path, b"definitely not an NMFS file, far too short header").unwrap();
+        assert!(MmapCsr::open(&path).is_err());
+        // Valid header, truncated body.
+        let m = banded(9, 2);
+        let mut bytes = Vec::new();
+        write_csr_binary(&m, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 8);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(MmapCsr::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panel_budget_is_sane() {
+        let m = crate::gen::erdos_renyi(200, 50, 0.1, 3);
+        let path = tmp_nmfs("budget");
+        write_csr_binary_path(&m, &path).unwrap();
+        let mm = MmapCsr::open(&path).unwrap();
+        assert_eq!(mm.panel_rows_for_budget(usize::MAX / 32), 200);
+        assert!(mm.panel_rows_for_budget(1) >= 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

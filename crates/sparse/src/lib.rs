@@ -14,14 +14,17 @@
 //!   and a Chung–Lu power-law digraph standing in for webbase-2001.
 
 pub mod coo;
+pub mod csc;
 pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod spmm;
 
 pub use coo::Coo;
+pub use csc::{CscView, SpBlock};
 pub use csr::Csr;
 pub use spmm::{
-    spmm_at_dense, spmm_at_dense_into, spmm_at_dense_par, spmm_dense_t, spmm_dense_t_into,
+    csc_chosen, spmm_at_dense, spmm_at_dense_auto, spmm_at_dense_auto_into, spmm_at_dense_csc,
+    spmm_at_dense_csc_into, spmm_at_dense_into, spmm_at_dense_par, spmm_dense_t, spmm_dense_t_into,
     spmm_dense_t_par, spmm_dense_t_par_into,
 };

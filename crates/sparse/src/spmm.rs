@@ -15,6 +15,7 @@
 //! Each kernel performs `2·nnz(A)·k` flops, the count the paper uses for
 //! sparse inputs.
 
+use crate::csc::CscView;
 use crate::csr::Csr;
 use nmf_matrix::gemm::axpy;
 use nmf_matrix::Mat;
@@ -80,6 +81,209 @@ pub fn spmm_at_dense_into(a: &Csr, w: &Mat, y: &mut Mat) {
             axpy(x, wrow, yrow);
         }
     }
+}
+
+/// `Y = Aᵀ·W` via the column view: the forward-traversal kernel.
+///
+/// The CSR pass above scatters one axpy into a different output row per
+/// visited nonzero; here each output row `y[j]` is accumulated start to
+/// finish while column `j`'s nonzeros stream, so the output is written
+/// with perfect locality and only the `W` reads hop (a gather that the
+/// hardware prefetcher handles far better than scattered read-modify-
+/// write). Values are read through the view's shared-ordering positions
+/// — no second copy of the payload exists.
+///
+/// **Bit-for-bit identical** to [`spmm_at_dense_into`]: for a fixed
+/// output row `j`, both kernels add the contributions of rows
+/// `i₀ < i₁ < …` in the same ascending order ([`CscView::from_csr`]
+/// preserves row order within each column), so every intermediate sum
+/// is the same float — including `-0.0` and NaN propagation. The
+/// property tests in `tests/csc_props.rs` assert this at the bit level.
+pub fn spmm_at_dense_csc_into(a: &Csr, csc: &CscView, w: &Mat, y: &mut Mat) {
+    assert_eq!(
+        a.nrows(),
+        w.nrows(),
+        "spmm_at_dense_csc inner dimension mismatch"
+    );
+    assert_eq!(
+        y.shape(),
+        (a.ncols(), w.ncols()),
+        "spmm_at_dense_csc output shape mismatch"
+    );
+    debug_assert!(csc.matches(a), "CSC view does not index this CSR");
+    let vals = a.values();
+    let (m, k) = w.shape();
+    y.as_mut_slice().fill(0.0);
+    if k == 0 {
+        return;
+    }
+    // Row-panel blocking: restrict each sweep over the columns to the
+    // rows of one panel, sized so the panel's slice of `W` (the
+    // gathered operand) stays L2-resident. The value gathers then land
+    // in one contiguous `nnz(panel)`-sized window of the CSR values
+    // array, and each touched output row absorbs all of the panel's
+    // contributions in a single visit instead of one scattered
+    // read-modify-write per nonzero. Per-column cursors advance
+    // monotonically, so every index element is streamed exactly once
+    // across all panels (the cursor vector is the only scratch — one
+    // `ncols`-word allocation per call, trivial next to the product).
+    //
+    // Bit-identity with the CSR transposed pass is preserved: panels
+    // are visited in ascending row order and rows ascend within each
+    // column of a panel, so output row `j` still accumulates rows
+    // `i₀ < i₁ < …` in exactly the same order.
+    let panel_rows = (PANEL_TARGET_BYTES / (8 * k)).max(1);
+    let mut cur = vec![0usize; a.ncols()];
+    let mut acc = [0.0f64; ACC_WIDTH];
+    let mut r0 = 0;
+    while r0 < m {
+        let r1 = (r0 + panel_rows).min(m);
+        for (j, t) in cur.iter_mut().enumerate() {
+            let (rows, src) = csc.col(j);
+            if *t == rows.len() || rows[*t] >= r1 {
+                continue;
+            }
+            let yrow = y.row_mut(j);
+            *t = if k <= ACC_WIDTH {
+                // The output row is fixed for the whole segment, so
+                // accumulate it in an L1-resident stack buffer and
+                // store once — the per-nonzero read-modify-write of a
+                // far-away `y` row is what the CSR pass cannot avoid.
+                // Same `axpy` calls in the same order, so every
+                // intermediate float is unchanged.
+                let dst = &mut acc[..k];
+                dst.copy_from_slice(yrow);
+                let nt = accumulate_segment(rows, src, vals, w, dst, *t, r1);
+                yrow.copy_from_slice(dst);
+                nt
+            } else {
+                accumulate_segment(rows, src, vals, w, yrow, *t, r1)
+            };
+        }
+        r0 = r1;
+    }
+}
+
+/// One column's nonzeros within `[.., r1)` starting at cursor `t`,
+/// accumulated into `dst`; returns the advanced cursor.
+#[inline(always)]
+fn accumulate_segment(
+    rows: &[usize],
+    src: &[usize],
+    vals: &[f64],
+    w: &Mat,
+    dst: &mut [f64],
+    mut t: usize,
+    r1: usize,
+) -> usize {
+    while t < rows.len() && rows[t] < r1 {
+        let (i, p) = (rows[t], src[t]);
+        // Both gathered streams ascend sparsely — a stride the
+        // hardware prefetcher does not track — so fetch a few
+        // nonzeros ahead by hand.
+        #[cfg(target_arch = "x86_64")]
+        if let (Some(&ni), Some(&np)) = (rows.get(t + PREFETCH_DIST), src.get(t + PREFETCH_DIST)) {
+            // SAFETY: prefetch has no memory effects; both
+            // addresses lie inside live allocations.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(vals.as_ptr().add(np) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(w.row(ni).as_ptr() as *const i8, _MM_HINT_T0);
+            }
+        }
+        axpy(vals[p], w.row(i), dst);
+        t += 1;
+    }
+    t
+}
+
+/// Target footprint of one row panel's `W` slice — half of a typical
+/// L2, leaving room for the output rows and index streams.
+const PANEL_TARGET_BYTES: usize = 1 << 20;
+
+/// How many nonzeros ahead the CSC kernel prefetches its two gathered
+/// streams (the value and the `W` row). At ~10 cycles of axpy work per
+/// nonzero this covers L2/L3 hit latency without thrashing L1.
+const PREFETCH_DIST: usize = 8;
+
+/// Widest factor rank the stack accumulator covers (512 bytes — eight
+/// cache lines, comfortably L1). Wider ranks fall back to accumulating
+/// in the output row directly.
+const ACC_WIDTH: usize = 64;
+
+/// Allocating wrapper over [`spmm_at_dense_csc_into`].
+pub fn spmm_at_dense_csc(a: &Csr, csc: &CscView, w: &Mat) -> Mat {
+    let mut y = Mat::zeros(a.ncols(), w.ncols());
+    spmm_at_dense_csc_into(a, csc, w, &mut y);
+    y
+}
+
+/// `Y = Aᵀ·W` choosing the traversal orientation by output size.
+///
+/// The two kernels are bit-identical, so the choice is purely a
+/// performance call: the CSR transposed pass wins while its scatter
+/// target (`Y`, `n×k`) stays cache-resident — every read-modify-write
+/// is a cache hit and values stream sequentially — and the CSC forward
+/// traversal wins once `Y` outgrows the last-level cache, because it
+/// writes each output row with locality (panel-hoisted into an L1
+/// accumulator) while its gathers stay panel-local. The crossover is
+/// therefore the LLC size, probed from sysfs with an `NMF_CSC_MIN_OUT_BYTES`
+/// override for machines where the probe is unavailable or wrong.
+pub fn spmm_at_dense_auto_into(a: &Csr, csc: &CscView, w: &Mat, y: &mut Mat) {
+    if csc_chosen(a.ncols(), w.ncols()) {
+        spmm_at_dense_csc_into(a, csc, w, y);
+    } else {
+        spmm_at_dense_into(a, w, y);
+    }
+}
+
+/// Allocating wrapper over [`spmm_at_dense_auto_into`].
+pub fn spmm_at_dense_auto(a: &Csr, csc: &CscView, w: &Mat) -> Mat {
+    let mut y = Mat::zeros(a.ncols(), w.ncols());
+    spmm_at_dense_auto_into(a, csc, w, &mut y);
+    y
+}
+
+/// Whether [`spmm_at_dense_auto_into`] routes an `n×k` output to the
+/// CSC forward kernel. Exposed so benches can report the routing.
+pub fn csc_chosen(n: usize, k: usize) -> bool {
+    n.saturating_mul(k).saturating_mul(8) > csc_min_out_bytes()
+}
+
+/// Output size above which the forward kernel is preferred: the
+/// last-level cache size (sysfs), or 32 MiB when unreadable, or the
+/// `NMF_CSC_MIN_OUT_BYTES` environment override. Resolved once.
+fn csc_min_out_bytes() -> usize {
+    static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        if let Some(v) = std::env::var("NMF_CSC_MIN_OUT_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            return v;
+        }
+        llc_bytes().unwrap_or(32 << 20)
+    })
+}
+
+/// Size of the largest cache level reported for cpu0, if readable.
+fn llc_bytes() -> Option<usize> {
+    for index in ["index3", "index2"] {
+        let path = format!("/sys/devices/system/cpu/cpu0/cache/{index}/size");
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let text = text.trim();
+        let (digits, mult) = match text.as_bytes().last() {
+            Some(b'K') => (&text[..text.len() - 1], 1usize << 10),
+            Some(b'M') => (&text[..text.len() - 1], 1 << 20),
+            _ => (text, 1),
+        };
+        if let Ok(v) = digits.parse::<usize>() {
+            return Some(v * mult);
+        }
+    }
+    None
 }
 
 /// Rayon row-parallel `V = A·Bᵀ` for the standalone (sequential-baseline)
@@ -218,6 +422,23 @@ mod tests {
         let y = spmm_at_dense(&a, &w);
         let expect = matmul_ta(&a.to_dense(), &w);
         assert!(y.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn csc_kernel_is_bit_identical_to_csr_pass() {
+        for &(m, n, k) in &[(11usize, 13usize, 4usize), (40, 27, 7), (3, 50, 1)] {
+            let a = random_sparse(m, n, (m * n) as u64);
+            let csc = CscView::from_csr(&a);
+            let w = Mat::uniform(m, k, 64);
+            let y_csr = spmm_at_dense(&a, &w);
+            let y_csc = spmm_at_dense_csc(&a, &csc, &w);
+            let same = y_csr
+                .as_slice()
+                .iter()
+                .zip(y_csc.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "CSC kernel diverged bitwise at {m}x{n}x{k}");
+        }
     }
 
     #[test]
