@@ -15,8 +15,16 @@
 //!     --checkpoint run.ckpt --checkpoint-every 5 --checkpoint-keep 3
 //! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn --resume run.ckpt
 //!
-//! # what's inside a checkpoint, without loading the factors
+//! # elastic resume: continue the same run on a different scheme/grid
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn \
+//!     --resume run.ckpt --regrid 2x2
+//! cargo run --release -p nmf_bench --bin nmf_cli -- --dataset dsyn \
+//!     --resume run.ckpt --algo hpc1d --ranks 2
+//!
+//! # what's inside a checkpoint, without loading the factors,
+//! # and which grids a 8-rank resume could land on
 //! cargo run --release -p nmf_bench --bin nmf_cli -- checkpoints inspect run.ckpt
+//! cargo run --release -p nmf_bench --bin nmf_cli -- checkpoints inspect run.ckpt --ranks 8
 //!
 //! # out of core: materialize once, then factorize without loading the file
 //! cargo run --release -p nmf_bench --bin nmf_cli -- convert --dataset webbase \
@@ -69,6 +77,7 @@ struct Args {
     checkpoint_every: Option<usize>,
     checkpoint_keep: Option<usize>,
     resume: Option<PathBuf>,
+    regrid: Option<Grid>,
 }
 
 impl Args {
@@ -191,6 +200,15 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
                 )
             }
             "--resume" => args.resume = val("--resume", &mut errors).map(PathBuf::from),
+            "--regrid" => {
+                if let Some(v) = val("--regrid", &mut errors) {
+                    match parse_grid(&v) {
+                        Some(g) => args.regrid = Some(g),
+                        None => errors
+                            .push(format!("--regrid expects PRxPC (e.g. 2x2, 1x8), got '{v}'")),
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_help();
                 exit(0);
@@ -211,6 +229,9 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
     }
     if args.resume.is_some() && args.ks.as_ref().is_some_and(|ks| ks.len() > 1) {
         errors.push("--resume continues one run; it cannot be combined with a --k sweep".into());
+    }
+    if args.regrid.is_some() && args.resume.is_none() {
+        errors.push("--regrid re-targets a resumed checkpoint; it needs --resume FILE".into());
     }
     if args.ks.as_ref().is_some_and(|ks| ks.len() > 1) && args.checkpoint.is_some() {
         errors.push(
@@ -234,6 +255,16 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
     } else {
         Err(errors)
     }
+}
+
+/// Parses `PRxPC` grid syntax (`2x2`, `1x8`).
+fn parse_grid(v: &str) -> Option<Grid> {
+    let (pr, pc) = v.split_once(['x', 'X'])?;
+    let (pr, pc) = (
+        pr.trim().parse::<usize>().ok()?,
+        pc.trim().parse::<usize>().ok()?,
+    );
+    (pr >= 1 && pc >= 1).then(|| Grid::new(pr, pc))
 }
 
 fn parse_num(v: Option<String>, name: &str, errors: &mut Vec<String>) -> Option<usize> {
@@ -273,12 +304,18 @@ fn print_help() {
          \x20 --checkpoint-every N    also write FILE every N iterations\n\
          \x20 --checkpoint-keep N     keep the last N superseded checkpoints as\n\
          \x20                         FILE.1 .. FILE.N (default 0: overwrite)\n\
-         \x20 --resume FILE           continue an interrupted run from FILE\n\
+         \x20 --resume FILE           continue an interrupted run from FILE;\n\
+         \x20                         combine with --algo / --ranks / --regrid to\n\
+         \x20                         continue on a different scheme or grid\n\
+         \x20 --regrid PRxPC          target grid for a resumed run (e.g. 2x2, 1x8)\n\
          \n\
          tooling:\n\
-         \x20 checkpoints inspect FILE   print a checkpoint's versioned header\n\
+         \x20 checkpoints inspect FILE [--ranks N]\n\
+         \x20                            print a checkpoint's versioned header\n\
          \x20                            (shape, k, algo, grid, fingerprint,\n\
-         \x20                            iteration, checksum) without loading factors\n\
+         \x20                            iteration, checksum) without loading factors;\n\
+         \x20                            --ranks N lists the grids a resume onto\n\
+         \x20                            N ranks could target\n\
          \x20 convert ... --out FILE.nmfs  materialize a sparse input (--input\n\
          \x20                            FILE.mtx or --dataset/--scale/--seed)\n\
          \x20                            as an NMFS binary for --mmap runs"
@@ -347,18 +384,29 @@ fn load_resident(args: &Args) -> Result<Input, NmfError> {
     }
 }
 
-/// `nmf_cli checkpoints inspect FILE`: the versioned header, fingerprint
-/// and checksum verdict of a checkpoint, without loading the factors.
+/// `nmf_cli checkpoints inspect FILE [--ranks N]`: the versioned header,
+/// fingerprint and checksum verdict of a checkpoint, without loading the
+/// factors. With `--ranks N`, also lists every grid a resume onto N
+/// ranks could target (see `fitting_grids`).
 fn run_checkpoints(argv: &[String]) -> Result<(), NmfError> {
     let usage = || NmfError::InvalidArgs {
-        errors: vec!["usage: nmf_cli checkpoints inspect FILE".into()],
+        errors: vec!["usage: nmf_cli checkpoints inspect FILE [--ranks N]".into()],
     };
-    let [sub, path] = argv else {
-        return Err(usage());
+    let (path, target_ranks) = match argv {
+        [sub, path] if sub == "inspect" => (path, None),
+        [sub, path, flag, n] if sub == "inspect" && flag == "--ranks" => {
+            let n: usize = n.parse().map_err(|_| NmfError::InvalidArgs {
+                errors: vec![format!("--ranks expects an integer >= 1, got '{n}'")],
+            })?;
+            if n == 0 {
+                return Err(NmfError::InvalidArgs {
+                    errors: vec!["--ranks must be >= 1".into()],
+                });
+            }
+            (path, Some(n))
+        }
+        _ => return Err(usage()),
     };
-    if sub != "inspect" {
-        return Err(usage());
-    }
     let path = Path::new(path);
     let s = inspect_checkpoint(path)?;
     let meta = &s.meta;
@@ -393,6 +441,24 @@ fn run_checkpoints(argv: &[String]) -> Result<(), NmfError> {
         },
         s.file_bytes
     );
+    if let Some(ranks) = target_ranks {
+        let grids = fitting_grids(meta.m, meta.n, ranks);
+        if grids.is_empty() {
+            println!(
+                "  regrid targets: none — no {ranks}-rank grid fits a {}x{} problem",
+                meta.m, meta.n
+            );
+        } else {
+            let list: Vec<String> = grids
+                .iter()
+                .map(|g| {
+                    let stored = *g == meta.grid && ranks == meta.ranks;
+                    format!("{}x{}{}", g.pr, g.pc, if stored { " (stored)" } else { "" })
+                })
+                .collect();
+            println!("  regrid targets: {} ranks -> {}", ranks, list.join(", "));
+        }
+    }
     if !s.checksum_ok {
         exit(1);
     }
@@ -478,15 +544,29 @@ fn run(args: &Args) -> Result<(), NmfError> {
     let ks = args.ks();
 
     if let Some(path) = &args.resume {
-        let mut model = Model::load_shared(path, &input)?;
+        let mut target = RegridTarget::new();
+        if let Some(a) = args.algo {
+            target = target.algo(a);
+        }
+        if let Some(p) = args.ranks {
+            target = target.ranks(p);
+        }
+        if let Some(g) = args.regrid {
+            target = target.grid(g);
+        }
+        let mut model = Model::load_regrid_shared(path, &input, target)?;
         check_resume_conflicts(args, &model)?;
         if let Some(iters) = args.iters {
             model.set_max_iters(iters);
         }
         if !args.json {
+            let grid = model.grid();
             println!(
-                "resuming {} at iteration {} from {}",
+                "resuming {} on {} ranks (grid {}x{}) at iteration {} from {}",
                 model.algo().name(),
+                model.ranks(),
+                grid.pr,
+                grid.pc,
                 model.iterations(),
                 path.display()
             );
@@ -544,6 +624,8 @@ fn run(args: &Args) -> Result<(), NmfError> {
 
 /// Flags given alongside `--resume` must agree with what the checkpoint
 /// recorded — a silent mismatch would "resume" a different experiment.
+/// `--algo`, `--ranks` and `--regrid` are *not* checked here: they are
+/// regrid overrides, honored by `Model::load_regrid_shared`.
 fn check_resume_conflicts(args: &Args, model: &Model) -> Result<(), NmfError> {
     let mut errors = Vec::new();
     let meta = model.meta();
@@ -552,23 +634,6 @@ fn check_resume_conflicts(args: &Args, model: &Model) -> Result<(), NmfError> {
             errors.push(format!(
                 "--k {:?} conflicts with the checkpoint (written with k={})",
                 ks, meta.config.k
-            ));
-        }
-    }
-    if let Some(a) = args.algo {
-        if a != meta.algo {
-            errors.push(format!(
-                "--algo {} conflicts with the checkpoint (written with {})",
-                a.name(),
-                meta.algo.name()
-            ));
-        }
-    }
-    if let Some(p) = args.ranks {
-        if p != meta.ranks {
-            errors.push(format!(
-                "--ranks {p} conflicts with the checkpoint (written with {})",
-                meta.ranks
             ));
         }
     }
@@ -832,6 +897,24 @@ mod tests {
         assert!(errs[0].contains("--checkpoint FILE"));
         assert!(parse_args(&argv("--checkpoint f.ckpt --checkpoint-every 5")).is_ok());
         assert!(parse_args(&argv("--resume f.ckpt --checkpoint-every 5")).is_ok());
+    }
+
+    #[test]
+    fn regrid_parses_grids_and_requires_resume() {
+        assert_eq!(parse_grid("2x2"), Some(Grid::new(2, 2)));
+        assert_eq!(parse_grid("1x8"), Some(Grid::new(1, 8)));
+        assert_eq!(parse_grid("4X2"), Some(Grid::new(4, 2)));
+        assert_eq!(parse_grid("0x2"), None);
+        assert_eq!(parse_grid("2x"), None);
+        assert_eq!(parse_grid("axb"), None);
+        assert_eq!(parse_grid("8"), None);
+
+        let args = parse_args(&argv("--dataset ssyn --resume f.ckpt --regrid 2x4")).expect("valid");
+        assert_eq!(args.regrid, Some(Grid::new(2, 4)));
+        let errs = parse_args(&argv("--dataset ssyn --regrid 2x4")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("needs --resume")));
+        let errs = parse_args(&argv("--dataset ssyn --resume f.ckpt --regrid 9")).expect_err("bad");
+        assert!(errs.iter().any(|e| e.contains("PRxPC")));
     }
 
     #[test]

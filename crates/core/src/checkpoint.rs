@@ -10,7 +10,7 @@
 //! checkpoint continues the **bit-identical** trajectory of the
 //! uninterrupted run, on any machine with the same float semantics.
 //!
-//! ## Format (version 1)
+//! ## Format (version 2; version 1 still readable)
 //!
 //! All multi-byte values are **little-endian**; floats are IEEE-754
 //! `f64` bit patterns (written with `to_le_bytes`, so `NaN`/`±inf`
@@ -19,8 +19,17 @@
 //!
 //! ```text
 //! magic "NMFCKPT\0" | version u32 | meta | fingerprint u64
-//!   | convergence state | W block | Hᵀ block | checksum u64
+//!   | convergence state | nblocks u64 | W blocks (rank order)
+//!   | Hᵀ blocks (rank order) | checksum u64
 //! ```
+//!
+//! Version 2 stores the factors as **per-rank blocks** in the exact
+//! layout [`crate::session`]'s `factor_layouts` assigns (version 1
+//! stored one assembled `W` and one `Hᵀ`). The decoded [`Checkpoint`]
+//! still presents assembled factors — reading a v2 file reassembles the
+//! blocks through the [`crate::regrid`] globalizer, the same path that
+//! lets a checkpoint taken on one grid resume on another (see
+//! `docs/elasticity.md`).
 //!
 //! Two integrity fields guard two failure classes:
 //!
@@ -39,6 +48,8 @@ use crate::engine::ConvergenceState;
 use crate::error::NmfError;
 use crate::grid::Grid;
 use crate::harness::Algo;
+use crate::regrid::GlobalFactors;
+use crate::session::factor_layouts;
 use nmf_matrix::Mat;
 use nmf_nls::SolverKind;
 use std::io::{Read, Write};
@@ -47,8 +58,9 @@ use std::time::Duration;
 
 /// File magic: identifies the format before any parsing.
 const MAGIC: &[u8; 8] = b"NMFCKPT\0";
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes. Readers accept every version
+/// from 1 up to this.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Everything about the run a checkpoint captures besides the factors
 /// and convergence state: the problem shape and the full configuration
@@ -75,6 +87,31 @@ impl CheckpointMeta {
         let mut buf = Vec::with_capacity(128);
         self.encode(&mut buf);
         fnv1a(&buf)
+    }
+
+    /// The **relaxed** compatibility check of the regrid/elasticity
+    /// contract (`docs/elasticity.md`): a checkpoint's factors can seed
+    /// a session on *any* grid, scheme, or rank count, but only against
+    /// the same data matrix — so only the input shape is pinned here.
+    /// (`k` is carried in the checkpoint's own config and is immutable
+    /// across a resume; the strict whole-config check remains
+    /// [`fingerprint`](Self::fingerprint) equality.)
+    pub fn check_compatible(&self, m: usize, n: usize) -> Result<(), NmfError> {
+        if self.m != m {
+            return Err(NmfError::CheckpointMismatch {
+                field: "m (input rows)",
+                expected: m,
+                found: self.m,
+            });
+        }
+        if self.n != n {
+            return Err(NmfError::CheckpointMismatch {
+                field: "n (input columns)",
+                expected: n,
+                found: self.n,
+            });
+        }
+        Ok(())
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -285,10 +322,14 @@ pub struct CheckpointSummary {
     pub objective: f64,
     /// Wall-clock time recorded by the run so far.
     pub elapsed: Duration,
-    /// Shapes of the stored factor blocks (`W`, then `Hᵀ`), from their
-    /// headers only — the payloads are skipped, not decoded.
+    /// Assembled shapes of the stored factors (`W`, then `Hᵀ`), from
+    /// the block headers only — the payloads are skipped, not decoded.
+    /// (A v2 file stores per-rank blocks; these are their totals.)
     pub w_shape: (usize, usize),
     pub ht_shape: (usize, usize),
+    /// Per-rank factor blocks in the file (1 for a v1 file's single
+    /// assembled pair; the rank count for v2).
+    pub factor_blocks: usize,
     /// Whether the whole-file checksum verified. `false` means the
     /// payload is damaged even though the header still parsed; a full
     /// [`read_checkpoint`] of this file would fail.
@@ -349,7 +390,7 @@ fn summarize(bytes: &[u8]) -> Result<CheckpointSummary, DecodeError> {
         return Err(corrupt("bad magic (not an NMF checkpoint)"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(DecodeError::Version(version));
     }
     if bytes.len() < 8 + 4 + 8 + 8 {
@@ -389,8 +430,28 @@ fn summarize(bytes: &[u8]) -> Result<CheckpointSummary, DecodeError> {
     r.take(8 * hist_len).map_err(DecodeError::Corrupt)?;
     let elapsed = Duration::from_nanos(r.u64().map_err(DecodeError::Corrupt)?);
 
-    let w_shape = r.skip_mat().map_err(DecodeError::Corrupt)?;
-    let ht_shape = r.skip_mat().map_err(DecodeError::Corrupt)?;
+    let (w_shape, ht_shape, factor_blocks) = if version == 1 {
+        let w = r.skip_mat().map_err(DecodeError::Corrupt)?;
+        let ht = r.skip_mat().map_err(DecodeError::Corrupt)?;
+        (w, ht, 1)
+    } else {
+        let nblocks = r.u64().map_err(DecodeError::Corrupt)? as usize;
+        if nblocks == 0 || nblocks > r.remaining() / 16 {
+            return Err(corrupt("factor section claims more blocks than fit"));
+        }
+        // Accumulate the assembled totals from the block headers alone:
+        // the W parts (then the Hᵀ parts) tile their global matrix, so
+        // the row counts sum to m (then n).
+        let mut totals = [(0usize, 0usize); 2];
+        for t in &mut totals {
+            for _ in 0..nblocks {
+                let (nr, nc) = r.skip_mat().map_err(DecodeError::Corrupt)?;
+                t.0 += nr;
+                t.1 = t.1.max(nc);
+            }
+        }
+        (totals[0], totals[1], nblocks)
+    };
 
     Ok(CheckpointSummary {
         version,
@@ -401,6 +462,7 @@ fn summarize(bytes: &[u8]) -> Result<CheckpointSummary, DecodeError> {
         elapsed,
         w_shape,
         ht_shape,
+        factor_blocks,
         checksum_ok,
         file_bytes: bytes.len(),
     })
@@ -475,8 +537,19 @@ fn encode(ck: &Checkpoint) -> Vec<u8> {
         st.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
     );
 
-    put_mat(&mut out, &ck.w);
-    put_mat(&mut out, &ck.ht);
+    // Factor section (v2): the assembled factors sliced into the exact
+    // per-rank blocks the run distributes — W blocks in rank order,
+    // then Hᵀ blocks. Slicing here and reassembling on read are both
+    // plain row copies at `factor_layouts` offsets, so the round trip
+    // is bit-exact.
+    let layouts = factor_layouts(ck.meta.algo, ck.meta.grid, ck.meta.ranks, m, n);
+    put_u64(&mut out, layouts.len() as u64);
+    for lay in &layouts {
+        put_mat(&mut out, &ck.w.rows_block(lay.w.offset, lay.w.len));
+    }
+    for lay in &layouts {
+        put_mat(&mut out, &ck.ht.rows_block(lay.ht.offset, lay.ht.len));
+    }
 
     let sum = fnv1a(&out);
     put_u64(&mut out, sum);
@@ -508,7 +581,7 @@ fn decode(bytes: &[u8], _path: &Path) -> Result<Checkpoint, DecodeError> {
     // Version is checked before the checksum so a reader can say
     // "written by a newer format" instead of "corrupt".
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(DecodeError::Version(version));
     }
     if bytes.len() < 8 + 4 + 8 {
@@ -557,26 +630,69 @@ fn decode(bytes: &[u8], _path: &Path) -> Result<Checkpoint, DecodeError> {
     }
     let elapsed = Duration::from_nanos(r.u64().map_err(DecodeError::Corrupt)?);
 
-    let w = r.mat().map_err(DecodeError::Corrupt)?;
-    let ht = r.mat().map_err(DecodeError::Corrupt)?;
+    let (m, n, k) = (meta.m, meta.n, meta.config.k);
+    let (w, ht) =
+        if version == 1 {
+            // v1: one assembled W, one assembled Hᵀ.
+            let w = r.mat().map_err(DecodeError::Corrupt)?;
+            let ht = r.mat().map_err(DecodeError::Corrupt)?;
+            for (field, expected, found) in [
+                ("W rows", m, w.nrows()),
+                ("W cols", k, w.ncols()),
+                ("H^T rows", n, ht.nrows()),
+                ("H^T cols", k, ht.ncols()),
+            ] {
+                if expected != found {
+                    return Err(DecodeError::Shape {
+                        field,
+                        expected,
+                        found,
+                    });
+                }
+            }
+            (w, ht)
+        } else {
+            // v2: per-rank blocks, reassembled through the regrid
+            // globalizer. The block count is bounded by the bytes actually
+            // present *before* the layout vector is sized, so a crafted
+            // header cannot force a giant allocation.
+            let nblocks = r.u64().map_err(DecodeError::Corrupt)? as usize;
+            if nblocks == 0 || nblocks > r.remaining() / 16 {
+                return Err(corrupt("factor section claims more blocks than fit"));
+            }
+            if nblocks != meta.ranks {
+                return Err(DecodeError::Shape {
+                    field: "factor blocks",
+                    expected: meta.ranks,
+                    found: nblocks,
+                });
+            }
+            let layouts = factor_layouts(meta.algo, meta.grid, meta.ranks, m, n);
+            if layouts.len() != nblocks {
+                return Err(DecodeError::Shape {
+                    field: "factor blocks",
+                    expected: layouts.len(),
+                    found: nblocks,
+                });
+            }
+            let mut w_blocks = Vec::with_capacity(nblocks);
+            for _ in 0..nblocks {
+                w_blocks.push(r.mat().map_err(DecodeError::Corrupt)?);
+            }
+            let mut ht_blocks = Vec::with_capacity(nblocks);
+            for _ in 0..nblocks {
+                ht_blocks.push(r.mat().map_err(DecodeError::Corrupt)?);
+            }
+            let global = GlobalFactors::assemble(m, n, k, &layouts, &w_blocks, &ht_blocks)
+                .map_err(|e| DecodeError::Shape {
+                    field: e.field,
+                    expected: e.expected,
+                    found: e.found,
+                })?;
+            (global.w, global.ht)
+        };
     if r.pos != body_len {
         return Err(corrupt("trailing bytes after the factor blocks"));
-    }
-
-    let (m, n, k) = (meta.m, meta.n, meta.config.k);
-    for (field, expected, found) in [
-        ("W rows", m, w.nrows()),
-        ("W cols", k, w.ncols()),
-        ("H^T rows", n, ht.nrows()),
-        ("H^T cols", k, ht.ncols()),
-    ] {
-        if expected != found {
-            return Err(DecodeError::Shape {
-                field,
-                expected,
-                found,
-            });
-        }
     }
 
     Ok(Checkpoint {
@@ -806,18 +922,21 @@ mod tests {
 
     #[test]
     fn absurd_factor_extent_is_corrupt_not_a_panic() {
-        // Edit the W block to claim 2^61 rows and re-stamp the trailing
-        // checksum (FNV is not cryptographic; the format's contract is
-        // a *decode error*, never a panic or giant allocation).
+        // Edit a factor block to claim 2^61 rows and re-stamp the
+        // trailing checksum (FNV is not cryptographic; the format's
+        // contract is a *decode error*, never a panic or giant
+        // allocation). The last Hᵀ block of the sample (2×2 grid on
+        // 12×9, k=3) is 2×3, so its header sits at a fixed offset from
+        // the end: checksum (8) + payload (6 f64s) + header (16).
         let ck = sample();
         let mut bytes = encode(&ck);
-        // W block starts right after the state: find it by re-encoding
-        // the prefix — simpler: locate the nrows field by value.
-        let needle = (ck.w.nrows() as u64).to_le_bytes();
-        let ncols = (ck.w.ncols() as u64).to_le_bytes();
-        let pos = (0..bytes.len() - 16)
-            .find(|&i| bytes[i..i + 8] == needle && bytes[i + 8..i + 16] == ncols)
-            .expect("W header present");
+        let pos = bytes.len() - 8 - 8 * 6 - 16;
+        assert_eq!(bytes[pos..pos + 8], 2u64.to_le_bytes(), "Hᵀ block rows");
+        assert_eq!(
+            bytes[pos + 8..pos + 16],
+            3u64.to_le_bytes(),
+            "Hᵀ block cols"
+        );
         bytes[pos..pos + 8].copy_from_slice(&(1u64 << 61).to_le_bytes());
         let body = bytes.len() - 8;
         let sum = fnv1a(&bytes[..body]);
@@ -826,6 +945,91 @@ mod tests {
         assert!(matches!(
             decode(&bytes, Path::new("mem")),
             Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    /// The old single-assembled-pair encoding, kept verbatim so v1
+    /// files written by earlier builds stay readable.
+    fn encode_v1(ck: &Checkpoint) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, 1);
+        let mut meta = Vec::with_capacity(128);
+        ck.meta.encode(&mut meta);
+        put_u64(&mut out, meta.len() as u64);
+        out.extend_from_slice(&meta);
+        put_u64(&mut out, fnv1a(&meta));
+        let st = &ck.state;
+        put_f64(&mut out, st.prev_objective);
+        put_opt_f64(&mut out, st.first_objective);
+        put_u64(&mut out, st.iterations_done as u64);
+        put_u64(&mut out, st.objective_history.len() as u64);
+        for &x in &st.objective_history {
+            put_f64(&mut out, x);
+        }
+        put_u64(
+            &mut out,
+            st.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+        put_mat(&mut out, &ck.w);
+        put_mat(&mut out, &ck.ht);
+        let sum = fnv1a(&out);
+        put_u64(&mut out, sum);
+        out
+    }
+
+    #[test]
+    fn version_1_files_stay_readable() {
+        let ck = sample();
+        let bytes = encode_v1(&ck);
+        let back = decode(&bytes, Path::new("mem")).ok().expect("v1 decodes");
+        assert_eq!(back.w, ck.w);
+        assert_eq!(back.ht, ck.ht);
+        assert_eq!(back.state, ck.state);
+        let s = summarize(&bytes).ok().expect("v1 summarizes");
+        assert_eq!(s.version, 1);
+        assert_eq!(s.factor_blocks, 1);
+        assert_eq!(s.w_shape, (12, 3));
+        assert_eq!(s.ht_shape, (9, 3));
+        assert!(s.checksum_ok);
+    }
+
+    #[test]
+    fn v2_stores_one_block_per_rank_and_reassembles_bit_exactly() {
+        let ck = sample();
+        let bytes = encode(&ck);
+        let s = summarize(&bytes).ok().expect("summarizes");
+        assert_eq!(s.version, FORMAT_VERSION);
+        assert_eq!(s.factor_blocks, ck.meta.ranks);
+        // Block totals reconstruct the assembled shapes...
+        assert_eq!(s.w_shape, (12, 3));
+        assert_eq!(s.ht_shape, (9, 3));
+        // ...and the decode path reassembles through the globalizer to
+        // the exact matrices that were sliced.
+        let back = decode(&bytes, Path::new("mem")).ok().expect("decodes");
+        assert_eq!(back.w, ck.w);
+        assert_eq!(back.ht, ck.ht);
+    }
+
+    #[test]
+    fn v2_block_count_must_match_the_recorded_ranks() {
+        let ck = sample();
+        let mut bytes = encode(&ck);
+        // The nblocks field follows the state section; find it by value
+        // scanning backwards from the first W block header (3×3 at a
+        // known distance: 4 W blocks of 3×3 and 4 Hᵀ blocks totalling
+        // 9×3 plus 8 headers of 16 bytes, then the checksum).
+        let factor_payload = 8 * (12 * 3 + 9 * 3) + 16 * 8;
+        let pos = bytes.len() - 8 - factor_payload - 8;
+        assert_eq!(bytes[pos..pos + 8], 4u64.to_le_bytes(), "nblocks field");
+        bytes[pos..pos + 8].copy_from_slice(&3u64.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, Path::new("mem")),
+            Err(DecodeError::Shape { .. }) | Err(DecodeError::Corrupt(_))
         ));
     }
 

@@ -26,6 +26,8 @@ pub enum NmfError {
     EmptyInput { m: usize, n: usize },
     /// The builder was never told the factorization rank `k`.
     MissingRank,
+    /// A resume builder was never given a data matrix.
+    MissingInput,
     /// `k` outside `1..=min(m, n)`.
     RankOutOfRange { k: usize, m: usize, n: usize },
     /// The chosen NLS solver cannot handle this `k`.
@@ -135,6 +137,11 @@ impl fmt::Display for NmfError {
                 f,
                 "no factorization rank set; call .rank(k) (or .config(..)) before .build()"
             ),
+            NmfError::MissingInput => write!(
+                f,
+                "no input attached to the resume; call .on(&input) or .on_shared(&shared) \
+                 before .build()"
+            ),
             NmfError::RankOutOfRange { k, m, n } => write!(
                 f,
                 "rank k={k} is outside the valid range 1..={} for a {m}x{n} input",
@@ -217,7 +224,8 @@ impl fmt::Display for NmfError {
                 supported,
             } => write!(
                 f,
-                "checkpoint {} has format version {found}; this build reads version {supported}",
+                "checkpoint {} has format version {found}; this build reads versions 1 \
+                 through {supported}",
                 path.display()
             ),
             NmfError::CheckpointMismatch {

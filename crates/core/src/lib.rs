@@ -97,6 +97,7 @@ pub mod harness;
 pub mod hpc;
 pub mod input;
 pub mod naive;
+pub mod regrid;
 pub mod seq;
 pub mod session;
 pub mod shared;
@@ -115,7 +116,8 @@ pub use error::NmfError;
 pub use grid::Grid;
 pub use harness::{factorize, factorize_from, total_comm, Algo};
 pub use input::{Input, LocalMat};
-pub use session::{Model, Nmf, NmfBuilder, StepProgress};
+pub use regrid::{fitting_grids, GlobalFactors, RegridTarget};
+pub use session::{Model, Nmf, NmfBuilder, ResumeBuilder, StepProgress};
 pub use shared::{ShardKey, SharedInput};
 pub use workspace::IterWorkspace;
 
@@ -126,7 +128,8 @@ pub mod prelude {
     pub use crate::grid::Grid;
     pub use crate::harness::{factorize, Algo};
     pub use crate::input::Input;
-    pub use crate::session::{Model, Nmf, NmfBuilder, StepProgress};
+    pub use crate::regrid::{fitting_grids, RegridTarget};
+    pub use crate::session::{Model, Nmf, NmfBuilder, ResumeBuilder, StepProgress};
     pub use crate::shared::SharedInput;
     pub use nmf_nls::SolverKind;
 }

@@ -66,6 +66,7 @@ use crate::error::{grid_fits, NmfError};
 use crate::grid::Grid;
 use crate::harness::Algo;
 use crate::input::Input;
+use crate::regrid::RegridTarget;
 use crate::shared::{extract_rank_data, RankData, ShardKey, SharedInput};
 use crate::workspace::IterWorkspace;
 use nmf_matrix::Mat;
@@ -152,6 +153,122 @@ impl Nmf {
             warm: None,
             resume: None,
         }
+    }
+
+    /// Starts resuming an already-read [`Checkpoint`] — on its recorded
+    /// grid by default (a pure, bit-identical resume), or *elastically*
+    /// on a different algorithm/grid/rank-count via the builder's
+    /// [`algo`](ResumeBuilder::algo) / [`grid`](ResumeBuilder::grid) /
+    /// [`ranks`](ResumeBuilder::ranks) overrides (see [`crate::regrid`]).
+    /// An input must be attached with [`on`](ResumeBuilder::on) or
+    /// [`on_shared`](ResumeBuilder::on_shared) before
+    /// [`build`](ResumeBuilder::build).
+    pub fn resume_from(ck: Checkpoint) -> ResumeBuilder<'static> {
+        ResumeBuilder {
+            ck,
+            input: None,
+            target: RegridTarget::new(),
+            max_iters: None,
+        }
+    }
+}
+
+/// Resumes a checkpoint, optionally on a different grid, scheme, or
+/// rank count. Produced by [`Nmf::resume_from`]; the one-shot wrappers
+/// are [`Model::load_regrid`] and [`Model::load_regrid_shared`].
+///
+/// The checkpoint's `k`, solver, seed, and regularization are the
+/// trajectory being continued and cannot be overridden (use
+/// [`Model::refit`] to start a new trajectory); `max_iters` *can* be
+/// raised, since extending a resumed run past its original budget is
+/// the point of resuming.
+pub struct ResumeBuilder<'a> {
+    ck: Checkpoint,
+    input: Option<InputSource<'a>>,
+    target: RegridTarget,
+    max_iters: Option<usize>,
+}
+
+impl<'a> ResumeBuilder<'a> {
+    /// Attaches the data matrix the checkpoint was taken from (shape is
+    /// verified at build; content is the caller's contract — the
+    /// checkpoint stores factors, not data).
+    pub fn on<'b>(self, input: &'b Input) -> ResumeBuilder<'b> {
+        ResumeBuilder {
+            ck: self.ck,
+            input: Some(InputSource::Whole(input)),
+            target: self.target,
+            max_iters: self.max_iters,
+        }
+    }
+
+    /// Attaches a [`SharedInput`]: the resumed model draws its blocks
+    /// from the shared sharding cache — the regrid re-sharder path, and
+    /// how an mmap-backed input resumes without loading the matrix.
+    pub fn on_shared<'b>(self, input: &'b SharedInput) -> ResumeBuilder<'b> {
+        ResumeBuilder {
+            ck: self.ck,
+            input: Some(InputSource::Shared(input)),
+            target: self.target,
+            max_iters: self.max_iters,
+        }
+    }
+
+    /// Overrides the algorithm / communication scheme.
+    pub fn algo(mut self, algo: Algo) -> Self {
+        self.target = self.target.algo(algo);
+        self
+    }
+
+    /// Overrides the rank count (the grid is re-derived to fit).
+    pub fn ranks(mut self, p: usize) -> Self {
+        self.target = self.target.ranks(p);
+        self
+    }
+
+    /// Overrides the processor grid explicitly.
+    pub fn grid(mut self, grid: Grid) -> Self {
+        self.target = self.target.grid(grid);
+        self
+    }
+
+    /// Replaces the whole override set at once (the [`RegridTarget`]
+    /// form used by `Model::load_regrid` and the serving layer).
+    pub fn target(mut self, target: RegridTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Raises (or lowers) the total-iteration cap for the resumed run.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = Some(iters);
+        self
+    }
+
+    /// Resolves the target against the checkpoint, globalized factors
+    /// become the warm start, and the session builder re-shards them
+    /// (and the input) along the target layout. Validation is the full
+    /// [`NmfBuilder::build`] pass, so an unfittable target grid fails
+    /// with the usual actionable [`NmfError`].
+    pub fn build(self) -> Result<Model, NmfError> {
+        let input = self.input.ok_or(NmfError::MissingInput)?;
+        let (m, n) = input.shape();
+        self.ck.meta.check_compatible(m, n)?;
+        let (algo, ranks, grid_override) = self.target.resolve(&self.ck.meta);
+        let mut config = self.ck.meta.config;
+        if let Some(iters) = self.max_iters {
+            config.max_iters = iters;
+        }
+        let mut b = Nmf::from_source(input)
+            .config(config)
+            .algo(algo)
+            .ranks(ranks)
+            .warm_start(self.ck.w, self.ck.ht)
+            .resume_state(self.ck.state);
+        if let Some(g) = grid_override {
+            b = b.grid_override(g);
+        }
+        b.build()
     }
 }
 
@@ -407,12 +524,53 @@ fn validate_run(
 }
 
 /// Where one rank's factor slices live in the global matrices.
-#[derive(Clone, Copy, Debug)]
-struct RankLayout {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RankLayout {
     /// Global `W`-row slice.
-    w: Part,
+    pub(crate) w: Part,
     /// Global `H`-column slice (rows of `Hᵀ`).
-    ht: Part,
+    pub(crate) ht: Part,
+}
+
+/// The factor slicing a `(algo, grid, ranks)` triple induces on the
+/// global `W` (`m×k`) and `Hᵀ` (`n×k`) matrices, one entry per rank.
+///
+/// The single source of truth shared by session spawn (scattering warm
+/// starts), snapshot reassembly, the versioned checkpoint factor
+/// section, and the regrid globalizer — all four must agree on these
+/// offsets for resume to be bit-identical.
+pub(crate) fn factor_layouts(
+    algo: Algo,
+    grid: Grid,
+    ranks: usize,
+    m: usize,
+    n: usize,
+) -> Vec<RankLayout> {
+    match algo {
+        Algo::Sequential => vec![RankLayout {
+            w: Part { offset: 0, len: m },
+            ht: Part { offset: 0, len: n },
+        }],
+        Algo::Naive => {
+            let dist_m = Dist1D::new(m, ranks);
+            let dist_n = Dist1D::new(n, ranks);
+            (0..ranks)
+                .map(|r| RankLayout {
+                    w: dist_m.part(r),
+                    ht: dist_n.part(r),
+                })
+                .collect()
+        }
+        Algo::Hpc1D | Algo::Hpc2D | Algo::HpcGrid(_) => (0..ranks)
+            .map(|r| {
+                let lay = hpc_rank_layout(grid, m, n, r);
+                RankLayout {
+                    w: lay.w,
+                    ht: lay.ht,
+                }
+            })
+            .collect(),
+    }
 }
 
 /// Which scheme a worker should build (the data blocks already encode
@@ -655,40 +813,12 @@ impl Model {
     ) -> Model {
         let (m, n) = input.shape();
         let norm_a_sq = input.fro_norm_sq();
-        let (spec, layout): (Spec, Vec<RankLayout>) = match algo {
-            Algo::Sequential => (
-                Spec::Seq,
-                vec![RankLayout {
-                    w: Part { offset: 0, len: m },
-                    ht: Part { offset: 0, len: n },
-                }],
-            ),
-            Algo::Naive => {
-                let dist_m = Dist1D::new(m, ranks);
-                let dist_n = Dist1D::new(n, ranks);
-                (
-                    Spec::Naive,
-                    (0..ranks)
-                        .map(|r| RankLayout {
-                            w: dist_m.part(r),
-                            ht: dist_n.part(r),
-                        })
-                        .collect(),
-                )
-            }
-            _ => (
-                Spec::Hpc(grid),
-                (0..ranks)
-                    .map(|r| {
-                        let lay = hpc_rank_layout(grid, m, n, r);
-                        RankLayout {
-                            w: lay.w,
-                            ht: lay.ht,
-                        }
-                    })
-                    .collect(),
-            ),
+        let spec = match algo {
+            Algo::Sequential => Spec::Seq,
+            Algo::Naive => Spec::Naive,
+            _ => Spec::Hpc(grid),
         };
+        let layout = factor_layouts(algo, grid, ranks, m, n);
 
         let base_iterations = resume.as_ref().map_or(0, |s| s.iterations_done);
         let initial_objective = resume
@@ -1022,31 +1152,40 @@ impl Model {
         Self::load_from(path, InputSource::Shared(input))
     }
 
+    /// [`load`](Self::load) onto a **different** grid, scheme, or rank
+    /// count: the checkpoint's globalized factors seed a fresh session
+    /// on whatever `target` asks for (an empty target is a pure resume).
+    /// See [`crate::regrid`] for the elasticity rules.
+    pub fn load_regrid(
+        path: impl AsRef<Path>,
+        input: &Input,
+        target: RegridTarget,
+    ) -> Result<Model, NmfError> {
+        let ck = read_checkpoint(path.as_ref())?;
+        Nmf::resume_from(ck).on(input).target(target).build()
+    }
+
+    /// [`load_regrid`](Self::load_regrid) against a [`SharedInput`]:
+    /// the target layout's blocks come from (and populate) the shared
+    /// sharding cache.
+    pub fn load_regrid_shared(
+        path: impl AsRef<Path>,
+        input: &SharedInput,
+        target: RegridTarget,
+    ) -> Result<Model, NmfError> {
+        let ck = read_checkpoint(path.as_ref())?;
+        Nmf::resume_from(ck).on_shared(input).target(target).build()
+    }
+
     fn load_from(path: impl AsRef<Path>, input: InputSource<'_>) -> Result<Model, NmfError> {
         let ck = read_checkpoint(path.as_ref())?;
-        let (m, n) = input.shape();
-        if ck.meta.m != m {
-            return Err(NmfError::CheckpointMismatch {
-                field: "m (input rows)",
-                expected: m,
-                found: ck.meta.m,
-            });
+        ResumeBuilder {
+            ck,
+            input: Some(input),
+            target: RegridTarget::new(),
+            max_iters: None,
         }
-        if ck.meta.n != n {
-            return Err(NmfError::CheckpointMismatch {
-                field: "n (input columns)",
-                expected: n,
-                found: ck.meta.n,
-            });
-        }
-        Nmf::from_source(input)
-            .config(ck.meta.config)
-            .algo(ck.meta.algo)
-            .ranks(ck.meta.ranks)
-            .grid_override(ck.meta.grid)
-            .warm_start(ck.w, ck.ht)
-            .resume_state(ck.state)
-            .build()
+        .build()
     }
 
     /// The checkpoint metadata this model would write.

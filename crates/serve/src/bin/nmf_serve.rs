@@ -1,8 +1,9 @@
-//! The serving daemon: binds a Unix socket and multiplexes every
-//! connected tenant's NMF jobs onto this process.
+//! The serving daemon: binds a Unix socket (or a loopback TCP address)
+//! and multiplexes every connected tenant's NMF jobs onto this process.
 //!
 //! ```sh
 //! cargo run --release -p nmf_serve --bin nmf_serve -- --socket /tmp/nmf.sock
+//! cargo run --release -p nmf_serve --bin nmf_serve -- --tcp 127.0.0.1:7410
 //! cargo run --release -p nmf_serve --bin nmf_serve -- --socket /tmp/nmf.sock \
 //!     --max-concurrent 2 --steps-per-quantum 8 --max-resident-mb 64
 //! ```
@@ -16,6 +17,7 @@ use std::process::exit;
 #[derive(Debug, Default)]
 struct Args {
     socket: Option<String>,
+    tcp: Option<String>,
     max_concurrent: Option<usize>,
     max_queued: Option<usize>,
     max_resident_mb: Option<usize>,
@@ -40,6 +42,7 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
         };
         match flag.as_str() {
             "--socket" => args.socket = val("--socket", &mut errors),
+            "--tcp" => args.tcp = val("--tcp", &mut errors),
             "--max-concurrent" => {
                 args.max_concurrent = num(val("--max-concurrent", &mut errors), flag, &mut errors)
             }
@@ -66,8 +69,11 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
             other => errors.push(format!("unknown flag {other}")),
         }
     }
-    if args.socket.is_none() {
-        errors.push("--socket PATH is required".into());
+    match (&args.socket, &args.tcp) {
+        (None, None) => errors.push("--socket PATH or --tcp ADDR is required".into()),
+        (Some(_), Some(_)) => errors
+            .push("--socket and --tcp are mutually exclusive (one listener per server)".into()),
+        _ => {}
     }
     for (name, v) in [
         ("--max-concurrent", args.max_concurrent),
@@ -99,9 +105,11 @@ fn num(v: Option<String>, name: &str, errors: &mut Vec<String>) -> Option<usize>
 
 fn print_help() {
     println!(
-        "nmf_serve — multi-tenant NMF model serving over a Unix socket\n\
+        "nmf_serve — multi-tenant NMF model serving over a Unix socket or loopback TCP\n\
          \n\
-         \x20 --socket PATH           socket to listen on (required)\n\
+         \x20 --socket PATH           Unix socket to listen on\n\
+         \x20 --tcp ADDR              TCP address to listen on (loopback only; port 0 = OS pick)\n\
+         \x20                         exactly one of --socket / --tcp is required\n\
          \n\
          default tenant quota:\n\
          \x20 --max-concurrent N      running jobs per tenant (default 4)\n\
@@ -146,17 +154,34 @@ fn main() {
         ..ServerConfig::default()
     };
 
-    let socket = args.socket.expect("validated");
-    let listener = match UnixSocketListener::bind(&socket) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("error: cannot bind {socket}: {e}");
-            exit(2);
+    let listener: Box<dyn Listener> = if let Some(addr) = &args.tcp {
+        match TcpSocketListener::bind(addr) {
+            Ok(l) => {
+                // Report the resolved address so a :0 bind's OS-chosen
+                // port is visible to whoever launched us.
+                println!("nmf_serve listening on tcp://{}", l.local_addr());
+                Box::new(l)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind {addr}: {e}");
+                exit(2);
+            }
+        }
+    } else {
+        let socket = args.socket.expect("validated");
+        match UnixSocketListener::bind(&socket) {
+            Ok(l) => {
+                println!("nmf_serve listening on {socket}");
+                Box::new(l)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind {socket}: {e}");
+                exit(2);
+            }
         }
     };
-    println!("nmf_serve listening on {socket}");
 
-    match Server::new(config).run(Box::new(listener)) {
+    match Server::new(config).run(listener) {
         Ok(stats) => {
             println!(
                 "served {} requests on {} connections: {} quanta, {} steps, \

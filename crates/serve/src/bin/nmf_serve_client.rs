@@ -7,7 +7,12 @@
 //! nmf_serve_client --socket /tmp/nmf.sock wait   --tenant acme --job 1
 //! nmf_serve_client --socket /tmp/nmf.sock stats  --tenant acme
 //! nmf_serve_client --socket /tmp/nmf.sock cancel --tenant acme --job 1
+//! nmf_serve_client --tcp 127.0.0.1:7410 status --tenant acme --job 1
 //! nmf_serve_client --socket /tmp/nmf.sock shutdown
+//!
+//! # Continue a checkpointed job on whatever grid this server allows:
+//! nmf_serve_client --socket /tmp/nmf.sock resume --tenant acme \
+//!     --ckpt /tmp/j1.ckpt --dataset ssyn --scale 2000 --ranks 2
 //!
 //! # CI smoke: three tenants submit, wait, verify factors, shut down
 //! nmf_serve_client --socket /tmp/nmf.sock smoke
@@ -17,13 +22,35 @@ use nmf_serve::prelude::*;
 use nmf_serve::protocol::JobStatus;
 use std::process::exit;
 
+/// Where the daemon is listening — a Unix socket path or a TCP address.
+#[derive(Clone)]
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn connect(&self) -> Result<Box<dyn Transport>, ServeError> {
+        Ok(match self {
+            Endpoint::Unix(path) => Box::new(UnixTransport::connect(path)?),
+            Endpoint::Tcp(addr) => Box::new(TcpTransport::connect(addr.as_str())?),
+        })
+    }
+}
+
 struct Args {
-    socket: String,
+    endpoint: Endpoint,
     command: String,
     tenant: String,
     job: u64,
     path: Option<String>,
+    ckpt: Option<String>,
     spec: JobSpec,
+    /// Which regrid overrides the user actually passed (for `resume`,
+    /// unset flags defer to the checkpoint / server policy).
+    ranks_set: bool,
+    algo_set: bool,
+    iters_set: bool,
     timeout_ms: u64,
 }
 
@@ -47,11 +74,16 @@ fn default_spec() -> JobSpec {
 fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
     let mut errors = Vec::new();
     let mut socket = None;
+    let mut tcp = None;
     let mut command = None;
     let mut tenant = "default".to_string();
     let mut job = 0u64;
     let mut path = None;
+    let mut ckpt = None;
     let mut spec = default_spec();
+    let mut ranks_set = false;
+    let mut algo_set = false;
+    let mut iters_set = false;
     let mut timeout_ms = 120_000u64;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -66,6 +98,13 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
         };
         match arg.as_str() {
             "--socket" => socket = val("--socket", &mut errors),
+            "--tcp" => tcp = val("--tcp", &mut errors),
+            "--ckpt" => ckpt = val("--ckpt", &mut errors),
+            "--file" => {
+                if let Some(p) = val("--file", &mut errors) {
+                    spec.source = JobSource::File { path: p };
+                }
+            }
             "--tenant" => {
                 if let Some(t) = val("--tenant", &mut errors) {
                     tenant = t;
@@ -102,11 +141,13 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
             "--ranks" => {
                 if let Some(n) = num(val("--ranks", &mut errors), arg, &mut errors) {
                     spec.ranks = n;
+                    ranks_set = true;
                 }
             }
             "--iters" => {
                 if let Some(n) = num(val("--iters", &mut errors), arg, &mut errors) {
                     spec.max_iters = n;
+                    iters_set = true;
                 }
             }
             "--seed" => {
@@ -128,6 +169,7 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
                             "unknown algorithm '{other}' (expected seq | naive | hpc1d | hpc2d)"
                         )),
                     }
+                    algo_set = true;
                 }
             }
             "--solver" => {
@@ -161,6 +203,7 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
             if matches!(
                 c.as_str(),
                 "submit"
+                    | "resume"
                     | "status"
                     | "wait"
                     | "factors"
@@ -179,8 +222,8 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
         }
         None => {
             errors.push(
-                "expected a command: submit | status | wait | factors | cancel | checkpoint \
-                 | stats | shutdown | smoke"
+                "expected a command: submit | resume | status | wait | factors | cancel \
+                 | checkpoint | stats | shutdown | smoke"
                     .into(),
             );
             String::new()
@@ -189,18 +232,33 @@ fn parse_args(argv: &[String]) -> Result<Args, Vec<String>> {
     if command == "checkpoint" && path.is_none() {
         errors.push("checkpoint needs --path FILE (a server-side path)".into());
     }
-    let Some(socket) = socket else {
-        errors.push("--socket PATH is required".into());
-        return Err(errors);
+    if command == "resume" && ckpt.is_none() {
+        errors.push("resume needs --ckpt FILE (a server-side checkpoint path)".into());
+    }
+    let endpoint = match (socket, tcp) {
+        (Some(path), None) => Endpoint::Unix(path),
+        (None, Some(addr)) => Endpoint::Tcp(addr),
+        (Some(_), Some(_)) => {
+            errors.push("--socket and --tcp are mutually exclusive".into());
+            return Err(errors);
+        }
+        (None, None) => {
+            errors.push("--socket PATH or --tcp ADDR is required".into());
+            return Err(errors);
+        }
     };
     if errors.is_empty() {
         Ok(Args {
-            socket,
+            endpoint,
             command,
             tenant,
             job,
             path,
+            ckpt,
             spec,
+            ranks_set,
+            algo_set,
+            iters_set,
             timeout_ms,
         })
     } else {
@@ -223,11 +281,14 @@ fn print_help() {
     println!(
         "nmf_serve_client — drive a running nmf_serve daemon\n\
          \n\
-         usage: nmf_serve_client --socket PATH COMMAND [options]\n\
+         usage: nmf_serve_client (--socket PATH | --tcp ADDR) COMMAND [options]\n\
          \n\
          commands:\n\
-         \x20 submit      admit a job   (--tenant, --dataset, --scale, --k, --ranks,\n\
-         \x20             --algo, --solver, --iters, --seed)\n\
+         \x20 submit      admit a job   (--tenant, --dataset, --scale, --file, --k,\n\
+         \x20             --ranks, --algo, --solver, --iters, --seed)\n\
+         \x20 resume      continue from a server-side checkpoint (--tenant, --ckpt,\n\
+         \x20             plus the data source flags; --ranks/--algo/--iters become\n\
+         \x20             regrid overrides, clamped to server policy)\n\
          \x20 status      one status line            (--tenant, --job)\n\
          \x20 wait        poll until the job settles (--tenant, --job, --timeout-ms)\n\
          \x20 factors     fetch W/H shapes + norms   (--tenant, --job)\n\
@@ -262,14 +323,29 @@ fn print_status(st: &JobStatus) {
 
 fn run(args: &Args) -> Result<(), ServeError> {
     if args.command == "smoke" {
-        return smoke(&args.socket);
+        return smoke(&args.endpoint);
     }
-    let mut client = Client::new(Box::new(UnixTransport::connect(&args.socket)?));
+    let mut client = Client::new(args.endpoint.connect()?);
     match args.command.as_str() {
         "submit" => {
             let (job, queued) = client.submit_tracked(&args.tenant, &args.spec)?;
             println!(
                 "job {job} admitted{}",
+                if queued { " (queued for a slot)" } else { "" }
+            );
+        }
+        "resume" => {
+            let ckpt = args.ckpt.as_deref().expect("validated");
+            let (job, queued) = client.resume(
+                &args.tenant,
+                ckpt,
+                &args.spec.source,
+                args.ranks_set.then_some(args.spec.ranks),
+                args.algo_set.then_some(args.spec.algo),
+                args.iters_set.then_some(args.spec.max_iters),
+            )?;
+            println!(
+                "job {job} resumed from {ckpt}{}",
                 if queued { " (queued for a slot)" } else { "" }
             );
         }
@@ -328,13 +404,13 @@ fn run(args: &Args) -> Result<(), ServeError> {
 
 /// CI smoke: three tenants on three connections submit small jobs, all
 /// finish, factors have the right shapes, the server shuts down cleanly.
-fn smoke(socket: &str) -> Result<(), ServeError> {
+fn smoke(endpoint: &Endpoint) -> Result<(), ServeError> {
     let tenants = ["alpha", "beta", "gamma"];
     let handles: Vec<_> = tenants
         .iter()
         .enumerate()
         .map(|(i, tenant)| {
-            let socket = socket.to_string();
+            let endpoint = endpoint.clone();
             let tenant = tenant.to_string();
             std::thread::spawn(move || -> Result<(), ServeError> {
                 let mut spec = default_spec();
@@ -347,7 +423,7 @@ fn smoke(socket: &str) -> Result<(), ServeError> {
                 spec.ranks = 1;
                 spec.algo = hpc_nmf::harness::Algo::Sequential;
                 spec.max_iters = 4;
-                let mut client = Client::new(Box::new(UnixTransport::connect(&socket)?));
+                let mut client = Client::new(endpoint.connect()?);
                 let job = client.submit(&tenant, &spec)?;
                 let st = client.wait_finished(&tenant, job, 60_000)?;
                 if st.phase != JobPhase::Finished {
@@ -385,7 +461,7 @@ fn smoke(socket: &str) -> Result<(), ServeError> {
             }
         }
     }
-    let mut client = Client::new(Box::new(UnixTransport::connect(socket)?));
+    let mut client = Client::new(endpoint.connect()?);
     client.shutdown()?;
     if failed {
         exit(1);

@@ -7,8 +7,9 @@
 //! concurrent tenants, as the load generator does.
 
 use crate::error::ServeError;
-use crate::protocol::{JobSpec, JobStatus, Request, Response, TenantReport};
+use crate::protocol::{JobSource, JobSpec, JobStatus, Request, Response, TenantReport};
 use crate::transport::Transport;
+use hpc_nmf::harness::Algo;
 use nmf_matrix::Mat;
 use std::time::{Duration, Instant};
 
@@ -54,6 +55,32 @@ impl Client {
         match self.call(&Request::Submit {
             tenant: tenant.to_string(),
             spec: spec.clone(),
+        })? {
+            Response::Submitted { job, queued } => Ok((job, queued)),
+            resp => Err(unexpected(resp)),
+        }
+    }
+
+    /// Asks the server to admit a job that continues from a server-side
+    /// checkpoint. `ranks`/`algo` are regrid requests (the server clamps
+    /// them to its policy); `max_iters` replaces the recorded iteration
+    /// cap. Returns `(job id, queued?)`.
+    pub fn resume(
+        &mut self,
+        tenant: &str,
+        ckpt: &str,
+        source: &JobSource,
+        ranks: Option<usize>,
+        algo: Option<Algo>,
+        max_iters: Option<usize>,
+    ) -> Result<(u64, bool), ServeError> {
+        match self.call(&Request::Resume {
+            tenant: tenant.to_string(),
+            ckpt: ckpt.to_string(),
+            source: source.clone(),
+            ranks,
+            algo,
+            max_iters,
         })? {
             Response::Submitted { job, queued } => Ok((job, queued)),
             resp => Err(unexpected(resp)),

@@ -15,8 +15,13 @@
 //!   monopolizes the process no matter how many jobs it submits;
 //! * a length-prefixed **framed protocol**
 //!   (submit / status / factors / cancel / checkpoint / stats /
-//!   shutdown) over an object-safe [`Transport`] — in-process channels
-//!   for embedding, Unix sockets for a separate client process.
+//!   shutdown / resume) over an object-safe [`Transport`] — in-process
+//!   channels for embedding, Unix sockets for a separate client
+//!   process, TCP (loopback-only by default) for remote clients;
+//! * **elastic resume**: `Request::Resume` admits a job that continues
+//!   from a server-side checkpoint, regridding the stored factors onto
+//!   whatever rank count / scheme this server's policy allows (see
+//!   `docs/elasticity.md`).
 //!
 //! ```no_run
 //! use nmf_serve::prelude::*;
@@ -58,12 +63,12 @@ pub use protocol::{
     JobPhase, JobSource, JobSpec, JobStatus, Request, Response, TenantReport, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };
-pub use registry::{Registry, TenantQuota};
+pub use registry::{Registry, ResumeSpec, TenantQuota};
 pub use scheduler::{QuantumReport, Scheduler, SchedulerConfig};
 pub use server::{ServeStats, Server, ServerConfig, ShutdownHandle};
 pub use transport::{
     channel_listener, channel_pair, ChannelConnector, ChannelListener, ChannelTransport, Listener,
-    Transport, UnixSocketListener, UnixTransport,
+    TcpSocketListener, TcpTransport, Transport, UnixSocketListener, UnixTransport,
 };
 
 /// Everything needed to embed or drive a server.
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use crate::scheduler::SchedulerConfig;
     pub use crate::server::{ServeStats, Server, ServerConfig};
     pub use crate::transport::{
-        channel_listener, ChannelConnector, Listener, Transport, UnixSocketListener, UnixTransport,
+        channel_listener, ChannelConnector, Listener, TcpSocketListener, TcpTransport, Transport,
+        UnixSocketListener, UnixTransport,
     };
 }

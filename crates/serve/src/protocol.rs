@@ -50,14 +50,21 @@ pub enum JobSource {
     },
     /// An inline dense matrix, row-major.
     Dense { m: usize, n: usize, data: Vec<f64> },
+    /// A server-side NMFS sparse matrix file, memory-mapped at build
+    /// time (see `nmf_sparse::io`). The path is interpreted on the
+    /// server's filesystem.
+    File { path: String },
 }
 
 impl JobSource {
     /// The input shape this source will produce (mirrors
-    /// `DatasetKind::build`'s scaling, floor 8).
+    /// `DatasetKind::build`'s scaling, floor 8). `None` when the shape
+    /// is only known server-side (`File` sources carry it in the NMFS
+    /// header, read at admission).
     pub fn shape(&self) -> Option<(usize, usize)> {
         match self {
             JobSource::Dense { m, n, .. } => Some((*m, *n)),
+            JobSource::File { .. } => None,
             JobSource::Dataset { kind, scale, .. } => {
                 let (pm, pn) = match kind.as_str() {
                     "dsyn" | "ssyn" => (172_800, 115_200),
@@ -189,6 +196,26 @@ pub enum Request {
     TenantStats { tenant: String },
     /// Stop the server loop after answering.
     Shutdown,
+    /// Admit a job that continues from a server-side checkpoint file
+    /// instead of a fresh random init. The server reads the checkpoint
+    /// header for admission (shape, k) and regrids the stored factors
+    /// onto whatever rank count / algorithm it assigns — the overrides
+    /// below are requests, clamped to server policy, not demands.
+    Resume {
+        tenant: String,
+        /// Server-side checkpoint path (written by `Checkpoint`).
+        ckpt: String,
+        /// The data matrix to resume against.
+        source: JobSource,
+        /// Target rank count; `None` lets the server pick (recorded
+        /// count, clamped to its per-job rank cap).
+        ranks: Option<usize>,
+        /// Target algorithm; `None` replays the recorded one (degraded
+        /// to `Hpc2D` if the rank count changed under a pinned grid).
+        algo: Option<Algo>,
+        /// Fresh iteration budget; `None` keeps the recorded cap.
+        max_iters: Option<usize>,
+    },
 }
 
 /// Server → client messages.
@@ -235,6 +262,7 @@ const REQ_CANCEL: u8 = 4;
 const REQ_CHECKPOINT: u8 = 5;
 const REQ_TENANT_STATS: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
+const REQ_RESUME: u8 = 8;
 
 const RESP_SUBMITTED: u8 = 1;
 const RESP_STATUS: u8 = 2;
@@ -311,8 +339,8 @@ fn put_algo(out: &mut Vec<u8>, algo: Algo) {
     }
 }
 
-fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
-    match &spec.source {
+fn put_source(out: &mut Vec<u8>, source: &JobSource) {
+    match source {
         JobSource::Dataset { kind, scale, seed } => {
             out.push(0);
             put_str(out, kind);
@@ -325,7 +353,25 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             put_u64(out, *n as u64);
             put_f64s(out, data);
         }
+        JobSource::File { path } => {
+            out.push(2);
+            put_str(out, path);
+        }
     }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, x: Option<u64>) {
+    match x {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    put_source(out, &spec.source);
     put_u64(out, spec.k as u64);
     put_u64(out, spec.ranks as u64);
     put_algo(out, spec.algo);
@@ -449,8 +495,8 @@ impl<'a> Wire<'a> {
         })
     }
 
-    fn spec(&mut self) -> Result<JobSpec, ServeError> {
-        let source = match self.u8()? {
+    fn source(&mut self) -> Result<JobSource, ServeError> {
+        Ok(match self.u8()? {
             0 => JobSource::Dataset {
                 kind: self.string()?,
                 scale: self.u64()? as usize,
@@ -470,12 +516,39 @@ impl<'a> Wire<'a> {
                 }
                 JobSource::Dense { m, n, data }
             }
+            2 => JobSource::File {
+                path: self.string()?,
+            },
             t => {
                 return Err(ServeError::BadFrame {
                     reason: format!("unknown job-source tag {t}"),
                 })
             }
-        };
+        })
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, ServeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(ServeError::BadFrame {
+                reason: format!("unknown option flag {t}"),
+            }),
+        }
+    }
+
+    fn opt_algo(&mut self) -> Result<Option<Algo>, ServeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.algo()?)),
+            t => Err(ServeError::BadFrame {
+                reason: format!("unknown option flag {t}"),
+            }),
+        }
+    }
+
+    fn spec(&mut self) -> Result<JobSpec, ServeError> {
+        let source = self.source()?;
         let k = self.u64()? as usize;
         let ranks = self.u64()? as usize;
         let algo = self.algo()?;
@@ -561,6 +634,28 @@ impl Request {
                 put_str(&mut out, tenant);
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Resume {
+                tenant,
+                ckpt,
+                source,
+                ranks,
+                algo,
+                max_iters,
+            } => {
+                out.push(REQ_RESUME);
+                put_str(&mut out, tenant);
+                put_str(&mut out, ckpt);
+                put_source(&mut out, source);
+                put_opt_u64(&mut out, ranks.map(|r| r as u64));
+                match algo {
+                    None => out.push(0),
+                    Some(a) => {
+                        out.push(1);
+                        put_algo(&mut out, *a);
+                    }
+                }
+                put_opt_u64(&mut out, max_iters.map(|r| r as u64));
+            }
         }
         out
     }
@@ -596,6 +691,14 @@ impl Request {
                 tenant: w.string()?,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_RESUME => Request::Resume {
+                tenant: w.string()?,
+                ckpt: w.string()?,
+                source: w.source()?,
+                ranks: w.opt_u64()?.map(|r| r as usize),
+                algo: w.opt_algo()?,
+                max_iters: w.opt_u64()?.map(|r| r as usize),
+            },
             t => {
                 return Err(ServeError::BadFrame {
                     reason: format!("unknown request tag {t}"),
@@ -837,6 +940,43 @@ mod tests {
                 spec,
             });
         }
+        reqs.push(Request::Submit {
+            tenant: "acme".into(),
+            spec: JobSpec {
+                source: JobSource::File {
+                    path: "/data/webbase.nmfs".into(),
+                },
+                k: 4,
+                ranks: 8,
+                algo: Algo::Hpc2D,
+                solver: SolverKind::Bpp,
+                max_iters: 50,
+                seed: 3,
+                tol: None,
+            },
+        });
+        reqs.push(Request::Resume {
+            tenant: "acme".into(),
+            ckpt: "/tmp/j1.ckpt".into(),
+            source: JobSource::File {
+                path: "/data/a.nmfs".into(),
+            },
+            ranks: Some(2),
+            algo: Some(Algo::HpcGrid(Grid::new(2, 1))),
+            max_iters: Some(40),
+        });
+        reqs.push(Request::Resume {
+            tenant: "acme".into(),
+            ckpt: "ckpt/only.ckpt".into(),
+            source: JobSource::Dataset {
+                kind: "ssyn".into(),
+                scale: 400,
+                seed: 7,
+            },
+            ranks: None,
+            algo: None,
+            max_iters: None,
+        });
         for req in reqs {
             let bytes = req.encode();
             let back = Request::decode(&bytes).expect("decodes");

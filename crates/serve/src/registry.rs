@@ -22,11 +22,15 @@
 
 use crate::error::ServeError;
 use crate::protocol::{JobPhase, JobSource, JobSpec, JobStatus, TenantReport};
+use hpc_nmf::checkpoint::read_checkpoint;
+use hpc_nmf::harness::Algo;
 use hpc_nmf::input::Input;
+use hpc_nmf::inspect_checkpoint;
 use hpc_nmf::prelude::*;
 use nmf_data::DatasetKind;
 use nmf_matrix::Mat;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Identity of a cacheable dataset source: `(kind, scale, seed)`.
@@ -67,12 +71,36 @@ impl Default for TenantQuota {
     }
 }
 
+/// Everything a resume admission carries to its deferred build: the
+/// server-side checkpoint, the data source to resume against, and the
+/// (already policy-clamped) regrid overrides.
+#[derive(Clone, Debug)]
+pub struct ResumeSpec {
+    /// Server-side checkpoint path (typically written by `Checkpoint`).
+    pub ckpt: String,
+    /// The data matrix to resume against.
+    pub source: JobSource,
+    /// Target rank count (`None` = recorded count). Clamped to the
+    /// server's per-job rank cap at admission, not rejected — elastic
+    /// resume exists precisely so a job can continue on a server with a
+    /// different capacity than the one that wrote the checkpoint.
+    pub ranks: Option<usize>,
+    /// Target algorithm (`None` = recorded one, degraded to `Hpc2D` if
+    /// the rank count changed under a pinned grid).
+    pub algo: Option<Algo>,
+    /// Fresh iteration budget (`None` = recorded cap).
+    pub max_iters: Option<usize>,
+}
+
 /// One tenant job: a live model, or a spec waiting to become one.
 pub(crate) struct Job {
     pub id: u64,
     pub phase: JobPhase,
     /// Present while queued; consumed at promotion.
     pub spec: Option<JobSpec>,
+    /// Present while a *resume* job is queued; consumed at promotion
+    /// (mutually exclusive with `spec`).
+    pub resume: Option<ResumeSpec>,
     /// Present while running or finished.
     pub model: Option<Model>,
     /// Factor bytes charged against the tenant's quota (projected while
@@ -191,17 +219,110 @@ impl Registry {
                 ),
             });
         }
-        let projected = spec
-            .projected_factor_bytes()
-            .ok_or_else(|| ServeError::BuildFailed {
+        let projected = match spec.projected_factor_bytes() {
+            Some(p) => p,
+            // File sources carry their shape in the NMFS header, not on
+            // the wire: peek it by opening (and caching) the mmap —
+            // cheap, no data pages are touched.
+            None if matches!(spec.source, JobSource::File { .. }) => {
+                let JobSource::File { path } = &spec.source else {
+                    unreachable!()
+                };
+                let shared = self.open_file_source(path)?;
+                let (m, n) = shared.shape();
+                8 * (m + n) * spec.k
+            }
+            None => {
+                return Err(ServeError::BuildFailed {
+                    job: 0,
+                    reason: match &spec.source {
+                        JobSource::Dataset { kind, .. } => format!(
+                            "unknown dataset '{kind}' (expected dsyn | ssyn | video | webbase)"
+                        ),
+                        _ => "unresolvable job source".to_string(),
+                    },
+                })
+            }
+        };
+        let max_iters = spec.max_iters as u64;
+        self.admit(tenant, projected, Some(spec), None, max_iters)
+    }
+
+    /// Admission control for a resume: the checkpoint header supplies
+    /// the problem shape and rank `k` (the admission currency), the
+    /// overrides are clamped to server policy, and the deferred build
+    /// regrids the stored factors onto the target at promotion.
+    pub fn submit_resume(
+        &mut self,
+        tenant: &str,
+        mut rs: ResumeSpec,
+    ) -> Result<(u64, bool), ServeError> {
+        let summary =
+            inspect_checkpoint(Path::new(&rs.ckpt)).map_err(|e| ServeError::BuildFailed {
                 job: 0,
-                reason: match &spec.source {
-                    JobSource::Dataset { kind, .. } => {
-                        format!("unknown dataset '{kind}' (expected dsyn | ssyn | video | webbase)")
-                    }
-                    _ => "unresolvable job source".to_string(),
-                },
+                reason: format!("checkpoint {}: {e}", rs.ckpt),
             })?;
+        if !summary.checksum_ok {
+            return Err(ServeError::BuildFailed {
+                job: 0,
+                reason: format!("checkpoint {}: payload checksum mismatch", rs.ckpt),
+            });
+        }
+        let (m, n, k) = (summary.meta.m, summary.meta.n, summary.meta.config.k);
+        // When the source already knows its shape (inline dense, named
+        // dataset, or a File we can header-peek), reject a mismatch at
+        // admission instead of burning a promotion on it.
+        let source_shape = match &rs.source {
+            JobSource::File { path } => Some(self.open_file_source(path)?.shape()),
+            other => other.shape(),
+        };
+        if let Some((sm, sn)) = source_shape {
+            if (sm, sn) != (m, n) {
+                return Err(ServeError::BuildFailed {
+                    job: 0,
+                    reason: format!(
+                        "checkpoint {} records a {m}x{n} problem but the source is {sm}x{sn}",
+                        rs.ckpt
+                    ),
+                });
+            }
+        }
+        // Clamp, don't reject: the whole point of elastic resume is
+        // continuing on a server with different capacity.
+        let requested = rs.ranks.unwrap_or(summary.meta.ranks).max(1);
+        rs.ranks = Some(requested.min(self.max_ranks_per_job));
+        let projected = 8 * (m + n) * k;
+        let max_iters = rs.max_iters.unwrap_or(summary.meta.config.max_iters) as u64;
+        self.admit(tenant, projected, None, Some(rs), max_iters)
+    }
+
+    /// Opens (or fetches from the cache) an NMFS file source as a
+    /// shared mmap-backed input, keyed `("file:<path>", 0, 0)` in the
+    /// dataset cache.
+    fn open_file_source(&mut self, path: &str) -> Result<Arc<SharedInput>, ServeError> {
+        let key = (format!("file:{path}"), 0usize, 0u64);
+        if let Some(s) = self.datasets.get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let shared = SharedInput::open_mmap(path).map_err(|e| ServeError::BuildFailed {
+            job: 0,
+            reason: format!("cannot open {path}: {e}"),
+        })?;
+        let shared = Arc::new(shared);
+        self.datasets.insert(key, Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    /// The shared tail of admission: quota checks, id allocation, job
+    /// insertion, queueing. Exactly one of `spec` / `resume` is `Some`.
+    fn admit(
+        &mut self,
+        tenant: &str,
+        projected: usize,
+        spec: Option<JobSpec>,
+        resume: Option<ResumeSpec>,
+        max_iters: u64,
+    ) -> Result<(u64, bool), ServeError> {
         let default_quota = self.default_quota;
         let t = self
             .tenants
@@ -237,13 +358,13 @@ impl Registry {
 
         let id = self.next_job;
         self.next_job += 1;
-        let max_iters = spec.max_iters as u64;
         t.jobs.insert(
             id,
             Job {
                 id,
                 phase: JobPhase::Queued,
-                spec: Some(spec),
+                spec,
+                resume,
                 model: None,
                 bytes: projected,
                 steps_done: 0,
@@ -327,6 +448,7 @@ impl Registry {
         }
         j.model = None;
         j.spec = None;
+        j.resume = None;
         j.bytes = 0;
         t.queue.retain(|&q| q != job);
         Ok(())
@@ -412,6 +534,36 @@ pub(crate) fn build_input(source: &JobSource) -> Result<Input, String> {
             };
             Ok(kind.build((*scale).max(1), *seed).input)
         }
+        JobSource::File { path } => Err(format!(
+            "file source {path} resolves through the shared mmap cache, not an inline input"
+        )),
+    }
+}
+
+/// Resolves a job source to its shared-cache entry (`None` for inline
+/// dense payloads, which stay per-job). Dataset sources build their
+/// [`SharedInput`] on first use; file sources open the NMFS mmap.
+fn shared_for_source(
+    source: &JobSource,
+    datasets: &mut DatasetCache,
+) -> Result<Option<Arc<SharedInput>>, String> {
+    use std::collections::hash_map::Entry;
+    let key = match source {
+        JobSource::Dataset { kind, scale, seed } => (kind.clone(), (*scale).max(1), *seed),
+        JobSource::File { path } => (format!("file:{path}"), 0, 0),
+        JobSource::Dense { .. } => return Ok(None),
+    };
+    match datasets.entry(key) {
+        Entry::Occupied(e) => Ok(Some(Arc::clone(e.get()))),
+        Entry::Vacant(e) => {
+            let shared = match source {
+                JobSource::File { path } => {
+                    SharedInput::open_mmap(path).map_err(|err| err.to_string())?
+                }
+                _ => SharedInput::new(build_input(source)?),
+            };
+            Ok(Some(Arc::clone(e.insert(Arc::new(shared)))))
+        }
     }
 }
 
@@ -424,19 +576,7 @@ pub(crate) fn build_input(source: &JobSource) -> Result<Input, String> {
 /// clones. Dense inline sources stay per-job: the input is dropped
 /// after the build and the model owns copies of its per-rank blocks.
 pub(crate) fn build_model(spec: &JobSpec, datasets: &mut DatasetCache) -> Result<Model, String> {
-    let shared = match &spec.source {
-        JobSource::Dataset { kind, scale, seed } => {
-            let key = (kind.clone(), (*scale).max(1), *seed);
-            match datasets.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => Some(Arc::clone(e.get())),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let input = build_input(&spec.source)?;
-                    Some(Arc::clone(e.insert(Arc::new(SharedInput::new(input)))))
-                }
-            }
-        }
-        JobSource::Dense { .. } => None,
-    };
+    let shared = shared_for_source(&spec.source, datasets)?;
     let resident;
     let mut b = match &shared {
         Some(s) => Nmf::on_shared(s),
@@ -454,6 +594,37 @@ pub(crate) fn build_model(spec: &JobSpec, datasets: &mut DatasetCache) -> Result
         .seed(spec.seed);
     if let Some(t) = spec.tol {
         b = b.tol(t);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Builds the model a resume plan describes (the promotion step for
+/// resume jobs): read the checkpoint, globalize its factors, and
+/// re-shard them onto whatever target the plan carries — the serve-side
+/// twin of [`Model::load_regrid`].
+pub(crate) fn build_resume_model(
+    rs: &ResumeSpec,
+    datasets: &mut DatasetCache,
+) -> Result<Model, String> {
+    let ck = read_checkpoint(Path::new(&rs.ckpt)).map_err(|e| e.to_string())?;
+    let mut target = RegridTarget::new();
+    if let Some(r) = rs.ranks {
+        target = target.ranks(r);
+    }
+    if let Some(a) = rs.algo {
+        target = target.algo(a);
+    }
+    let shared = shared_for_source(&rs.source, datasets)?;
+    let resident;
+    let mut b = match &shared {
+        Some(s) => Nmf::resume_from(ck).on_shared(s).target(target),
+        None => {
+            resident = build_input(&rs.source)?;
+            Nmf::resume_from(ck).on(&resident).target(target)
+        }
+    };
+    if let Some(iters) = rs.max_iters {
+        b = b.max_iters(iters);
     }
     b.build().map_err(|e| e.to_string())
 }

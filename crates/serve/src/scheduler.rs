@@ -25,7 +25,7 @@
 //! fighting every other tenant for cores mid-GEMM.
 
 use crate::protocol::JobPhase;
-use crate::registry::{build_model, model_done, Registry};
+use crate::registry::{build_model, build_resume_model, model_done, Registry};
 
 /// Scheduler tuning.
 #[derive(Clone, Copy, Debug)]
@@ -103,8 +103,14 @@ impl Scheduler {
                 };
                 tenant.queue.pop_front();
                 let job = tenant.jobs.get_mut(&job_id).expect("queued job exists");
-                let spec = job.spec.take().expect("queued job keeps its spec");
-                match build_model(&spec, datasets) {
+                let built = if let Some(spec) = job.spec.take() {
+                    build_model(&spec, datasets)
+                } else if let Some(rs) = job.resume.take() {
+                    build_resume_model(&rs, datasets)
+                } else {
+                    Err("queued job has neither a spec nor a resume plan".to_string())
+                };
+                match built {
                     Ok(model) => {
                         job.bytes = model.factor_bytes();
                         job.model = Some(model);

@@ -219,6 +219,26 @@ impl Server {
                 Err(e) => error_response(&e),
             },
             Request::Shutdown => Response::ShuttingDown,
+            Request::Resume {
+                tenant,
+                ckpt,
+                source,
+                ranks,
+                algo,
+                max_iters,
+            } => {
+                let rs = crate::registry::ResumeSpec {
+                    ckpt,
+                    source,
+                    ranks,
+                    algo,
+                    max_iters,
+                };
+                match self.registry.submit_resume(&tenant, rs) {
+                    Ok((job, queued)) => Response::Submitted { job, queued },
+                    Err(e) => error_response(&e),
+                }
+            }
         }
     }
 }

@@ -12,6 +12,11 @@
 //!   embedding the server in a test or a load generator.
 //! * [`UnixTransport`] — length-prefixed frames over a
 //!   `std::os::unix::net::UnixStream`, for a separate client process.
+//! * [`TcpTransport`] — the same framed protocol over a
+//!   `std::net::TcpStream`, for clients on other machines. The listener
+//!   refuses non-loopback bind addresses unless explicitly allowed
+//!   ([`TcpSocketListener::bind_any`]) — the protocol carries no
+//!   authentication, so exposure beyond the host is an opt-in.
 //!
 //! [`Listener`] is the accept side: it polls so the server's accept
 //! thread can observe a shutdown flag instead of blocking forever.
@@ -19,6 +24,7 @@
 use crate::error::ServeError;
 use crate::protocol::MAX_FRAME_BYTES;
 use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -110,6 +116,41 @@ impl Listener for ChannelListener {
     }
 }
 
+/* ---- stream framing (shared by unix + tcp) ---- */
+
+/// Writes one length-prefixed frame to any byte stream.
+fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ServeError> {
+    debug_assert!(frame.len() <= MAX_FRAME_BYTES);
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from any byte stream, mapping a
+/// clean EOF to [`ServeError::Closed`] and rejecting oversized length
+/// prefixes before allocation.
+fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Err(ServeError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::BadFrame {
+            reason: format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        });
+    }
+    let mut frame = vec![0u8; len];
+    match stream.read_exact(&mut frame) {
+        Ok(()) => Ok(frame),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(ServeError::Closed),
+        Err(e) => Err(e.into()),
+    }
+}
+
 /* ---- unix socket transport ---- */
 
 /// Length-prefixed frames over a Unix stream socket.
@@ -128,32 +169,11 @@ impl UnixTransport {
 
 impl Transport for UnixTransport {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), ServeError> {
-        debug_assert!(frame.len() <= MAX_FRAME_BYTES);
-        self.stream.write_all(&(frame.len() as u32).to_le_bytes())?;
-        self.stream.write_all(frame)?;
-        self.stream.flush()?;
-        Ok(())
+        write_frame(&mut self.stream, frame)
     }
 
     fn recv_frame(&mut self) -> Result<Vec<u8>, ServeError> {
-        let mut len = [0u8; 4];
-        match self.stream.read_exact(&mut len) {
-            Ok(()) => {}
-            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Err(ServeError::Closed),
-            Err(e) => return Err(e.into()),
-        }
-        let len = u32::from_le_bytes(len) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(ServeError::BadFrame {
-                reason: format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
-            });
-        }
-        let mut frame = vec![0u8; len];
-        match self.stream.read_exact(&mut frame) {
-            Ok(()) => Ok(frame),
-            Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(ServeError::Closed),
-            Err(e) => Err(e.into()),
-        }
+        read_frame(&mut self.stream)
     }
 }
 
@@ -206,6 +226,115 @@ impl Drop for UnixSocketListener {
     }
 }
 
+/* ---- tcp transport ---- */
+
+/// Length-prefixed frames over a TCP stream — the identical wire format
+/// to [`UnixTransport`], so a server behind either listener speaks to
+/// either client.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a serving TCP address (e.g. `127.0.0.1:7410`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpTransport, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are small and strictly request/response; don't let
+        // Nagle add a round trip of latency to every call.
+        stream.set_nodelay(true).ok();
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ServeError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// Accepts TCP connections. Loopback-only by default: the protocol has
+/// no authentication, so binding a routable interface requires the
+/// explicit [`bind_any`](Self::bind_any) opt-in.
+#[derive(Debug)]
+pub struct TcpSocketListener {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpSocketListener {
+    /// Binds `addr`, refusing non-loopback addresses. Use port 0 to let
+    /// the OS pick ([`local_addr`](Self::local_addr) reports the
+    /// choice).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpSocketListener, ServeError> {
+        let addr = resolve(addr)?;
+        if !is_loopback(addr.ip()) {
+            return Err(ServeError::BadFrame {
+                reason: format!(
+                    "refusing to bind non-loopback address {addr}; the protocol is \
+                     unauthenticated — use bind_any to expose it deliberately"
+                ),
+            });
+        }
+        Self::bind_resolved(addr)
+    }
+
+    /// Binds `addr` without the loopback restriction, for deployments
+    /// that bring their own network isolation.
+    pub fn bind_any(addr: impl ToSocketAddrs) -> Result<TcpSocketListener, ServeError> {
+        Self::bind_resolved(resolve(addr)?)
+    }
+
+    fn bind_resolved(addr: SocketAddr) -> Result<TcpSocketListener, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking so `accept` can poll and observe shutdown.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpSocketListener { listener, addr })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to :0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> Result<SocketAddr, ServeError> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ServeError::BadFrame {
+            reason: "address resolved to nothing".to_string(),
+        })
+}
+
+fn is_loopback(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => v4.is_loopback(),
+        IpAddr::V6(v6) => v6.is_loopback(),
+    }
+}
+
+impl Listener for TcpSocketListener {
+    fn accept(&mut self, poll: Duration) -> Result<Option<Box<dyn Transport>>, ServeError> {
+        match self.listener.accept() {
+            Ok((stream, _addr)) => {
+                // Connections run blocking I/O on their own threads.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true).ok();
+                Ok(Some(Box::new(TcpTransport { stream })))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +373,31 @@ mod tests {
         client.join().expect("client thread");
         drop(listener);
         assert!(!path.exists(), "socket file unlinked on drop");
+    }
+
+    #[test]
+    fn tcp_transport_round_trips_frames() {
+        let mut listener = TcpSocketListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr).expect("connect");
+            t.send_frame(&[9; 70_000]).expect("send big frame");
+            let back = t.recv_frame().expect("reply");
+            assert_eq!(back, vec![4, 5, 6]);
+        });
+        let mut conn = loop {
+            if let Some(c) = listener.accept(Duration::from_millis(5)).expect("accept") {
+                break c;
+            }
+        };
+        assert_eq!(conn.recv_frame().expect("frame"), vec![9; 70_000]);
+        conn.send_frame(&[4, 5, 6]).expect("reply");
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn tcp_bind_refuses_non_loopback_by_default() {
+        let err = TcpSocketListener::bind("0.0.0.0:0").expect_err("refused");
+        assert!(err.to_string().contains("loopback"), "{err}");
     }
 }

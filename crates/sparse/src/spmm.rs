@@ -132,7 +132,7 @@ pub fn spmm_at_dense_csc_into(a: &Csr, csc: &CscView, w: &Mat, y: &mut Mat) {
     // are visited in ascending row order and rows ascend within each
     // column of a panel, so output row `j` still accumulates rows
     // `i₀ < i₁ < …` in exactly the same order.
-    let panel_rows = (PANEL_TARGET_BYTES / (8 * k)).max(1);
+    let panel_rows = (csc_panel_bytes() / (8 * k)).max(1);
     let mut cur = vec![0usize; a.ncols()];
     let mut acc = [0.0f64; ACC_WIDTH];
     let mut r0 = 0;
@@ -197,9 +197,26 @@ fn accumulate_segment(
     t
 }
 
-/// Target footprint of one row panel's `W` slice — half of a typical
-/// L2, leaving room for the output rows and index streams.
-const PANEL_TARGET_BYTES: usize = 1 << 20;
+/// Target footprint of one row panel's `W` slice: half of the probed
+/// L2 (leaving room for the output rows and index streams), or half of
+/// a typical 2 MiB L2 when the probe is unavailable, or the
+/// `NMF_CSC_PANEL_BYTES` environment override verbatim. Resolved once.
+/// Panel height only regroups the accumulation — identical `axpy`s in
+/// identical order — so this is a pure tuning knob; every float is
+/// unchanged under any value (the bit-identity property tests run
+/// regardless of what this returns).
+fn csc_panel_bytes() -> usize {
+    static TARGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *TARGET.get_or_init(|| {
+        if let Some(v) = std::env::var("NMF_CSC_PANEL_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            return v;
+        }
+        cache_bytes("index2").map_or(1 << 20, |l2| (l2 / 2).max(4 << 10))
+    })
+}
 
 /// How many nonzeros ahead the CSC kernel prefetches its two gathered
 /// streams (the value and the `W` row). At ~10 cycles of axpy work per
@@ -268,22 +285,21 @@ fn csc_min_out_bytes() -> usize {
 
 /// Size of the largest cache level reported for cpu0, if readable.
 fn llc_bytes() -> Option<usize> {
-    for index in ["index3", "index2"] {
-        let path = format!("/sys/devices/system/cpu/cpu0/cache/{index}/size");
-        let Ok(text) = std::fs::read_to_string(path) else {
-            continue;
-        };
-        let text = text.trim();
-        let (digits, mult) = match text.as_bytes().last() {
-            Some(b'K') => (&text[..text.len() - 1], 1usize << 10),
-            Some(b'M') => (&text[..text.len() - 1], 1 << 20),
-            _ => (text, 1),
-        };
-        if let Ok(v) = digits.parse::<usize>() {
-            return Some(v * mult);
-        }
-    }
-    None
+    cache_bytes("index3").or_else(|| cache_bytes("index2"))
+}
+
+/// Size of one cpu0 cache level from sysfs (`index2` is typically L2,
+/// `index3` L3), if readable.
+fn cache_bytes(index: &str) -> Option<usize> {
+    let path = format!("/sys/devices/system/cpu/cpu0/cache/{index}/size");
+    let text = std::fs::read_to_string(path).ok()?;
+    let text = text.trim();
+    let (digits, mult) = match text.as_bytes().last() {
+        Some(b'K') => (&text[..text.len() - 1], 1usize << 10),
+        Some(b'M') => (&text[..text.len() - 1], 1 << 20),
+        _ => (text, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
 }
 
 /// Rayon row-parallel `V = A·Bᵀ` for the standalone (sequential-baseline)

@@ -8,6 +8,7 @@
 //! or workspace state carries information between iterations), so a
 //! crashed or migrated worker resumes exactly where it left off.
 
+use hpc_nmf::checkpoint::read_checkpoint;
 use hpc_nmf::dist::Dist1D;
 use hpc_nmf::engine::{AnlsEngine, Grid2D, LocalScheme, Replicated1D, SplitBlocks};
 use hpc_nmf::prelude::*;
@@ -449,7 +450,7 @@ fn wrong_version_is_rejected_before_the_checksum() {
             err,
             NmfError::UnsupportedVersion {
                 found: 99,
-                supported: 1,
+                supported: 2,
                 ..
             }
         ),
@@ -511,6 +512,220 @@ fn edited_k_fails_the_fingerprint_or_shape_check() {
         ),
         "got {err:?}"
     );
+    std::fs::remove_file(&path).ok();
+}
+
+/* ---------------- elasticity: the regrid matrix ----------------
+ *
+ * A checkpoint taken on any scheme must seed a session on any other
+ * (docs/elasticity.md): the decoder globalizes the per-rank blocks and
+ * the resume builder re-shards them along the target layout. Both
+ * halves are exact row copies, so the *factors* survive every
+ * source→target combination bit-for-bit; the continued run then
+ * reaches the same objective (only the new scheme's reduction orders
+ * differ).
+ */
+
+/// Checkpoint sources: one per communication scheme.
+fn regrid_sources() -> Vec<(&'static str, Algo, usize)> {
+    vec![
+        ("seq", Algo::Sequential, 1),
+        ("hpc1d-4", Algo::Hpc1D, 4),
+        ("grid4x2", Algo::HpcGrid(Grid::new(4, 2)), 8),
+    ]
+}
+
+/// Resume targets: a different scheme, rank count, and grid each.
+fn regrid_targets() -> Vec<(&'static str, RegridTarget)> {
+    vec![
+        ("seq", RegridTarget::new().algo(Algo::Sequential)),
+        ("hpc1d-2", RegridTarget::new().algo(Algo::Hpc1D).ranks(2)),
+        ("grid2x2", RegridTarget::new().grid(Grid::new(2, 2))),
+        ("grid1x8", RegridTarget::new().grid(Grid::new(1, 8))),
+    ]
+}
+
+#[test]
+fn regridded_factors_globalize_bit_identically() {
+    let input = test_input(28, 20, 31);
+    let cfg = config();
+    for (stag, algo, p) in regrid_sources() {
+        let mut src = session(&input, algo, p, &cfg);
+        for _ in 0..BREAK_AT {
+            src.step();
+        }
+        let (w_src, h_src) = src.factors();
+        let path = tmp_ckpt(&format!("regrid_{stag}"));
+        src.save(&path).expect("checkpoint writes");
+        drop(src);
+
+        // The decoder's globalizer reassembles the exact factors the
+        // blocks were sliced from.
+        let ck = read_checkpoint(&path).expect("checkpoint reads");
+        assert_eq!(ck.w, w_src, "{stag}: globalized W differs");
+        assert_eq!(ck.ht.transpose(), h_src, "{stag}: globalized H differs");
+
+        // ...and every regrid target re-shards them without losing a
+        // bit: the resumed session's assembled factors are identical.
+        for (ttag, target) in regrid_targets() {
+            let resumed = Model::load_regrid(&path, &input, target)
+                .unwrap_or_else(|e| panic!("{stag}->{ttag}: {e}"));
+            assert_eq!(
+                resumed.iterations(),
+                BREAK_AT,
+                "{stag}->{ttag}: iteration count lost"
+            );
+            let (w_r, h_r) = resumed.factors();
+            assert_eq!(w_r, w_src, "{stag}->{ttag}: resharded W lost bits");
+            assert_eq!(h_r, h_src, "{stag}->{ttag}: resharded H lost bits");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn regridded_resume_reaches_the_same_objective() {
+    let input = test_input(28, 20, 31);
+    let cfg = config();
+    for (stag, algo, p) in regrid_sources() {
+        let mut full = session(&input, algo, p, &cfg);
+        for _ in 0..TOTAL {
+            full.step();
+        }
+        let obj_full = full.records().last().expect("records").objective;
+
+        let mut first = session(&input, algo, p, &cfg);
+        for _ in 0..BREAK_AT {
+            first.step();
+        }
+        let path = tmp_ckpt(&format!("regrid_obj_{stag}"));
+        first.save(&path).expect("checkpoint writes");
+        drop(first);
+
+        for (ttag, target) in regrid_targets() {
+            let mut resumed = Model::load_regrid(&path, &input, target)
+                .unwrap_or_else(|e| panic!("{stag}->{ttag}: {e}"));
+            for _ in 0..(TOTAL - BREAK_AT) {
+                resumed.step();
+            }
+            let obj_r = resumed.records().last().expect("records").objective;
+            let rel = ((obj_r - obj_full) / obj_full).abs();
+            assert!(
+                rel < 1e-8,
+                "{stag}->{ttag}: objective diverged after regrid: \
+                 {obj_full} vs {obj_r} (rel {rel:e})"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn pure_resume_through_the_regrid_path_stays_bit_identical() {
+    // An empty target replays the recorded grid: the regrid entry
+    // points continue the exact trajectory, same as Model::load.
+    let input = test_input(28, 20, 31);
+    let cfg = config();
+    let mut full = session(&input, Algo::Hpc2D, 4, &cfg);
+    for _ in 0..TOTAL {
+        full.step();
+    }
+    let (wf, hf) = full.factors();
+
+    let mut first = session(&input, Algo::Hpc2D, 4, &cfg);
+    for _ in 0..BREAK_AT {
+        first.step();
+    }
+    let path = tmp_ckpt("regrid_pure");
+    first.save(&path).expect("checkpoint writes");
+    drop(first);
+
+    let ck = read_checkpoint(&path).expect("checkpoint reads");
+    let mut resumed = Nmf::resume_from(ck).on(&input).build().expect("builds");
+    assert_eq!(resumed.algo(), Algo::Hpc2D);
+    assert_eq!(resumed.ranks(), 4);
+    for _ in 0..(TOTAL - BREAK_AT) {
+        resumed.step();
+    }
+    let (wr, hr) = resumed.factors();
+    assert_eq!(wf, wr, "pure resume W diverged");
+    assert_eq!(hf, hr, "pure resume H diverged");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn regrid_keeps_the_recorded_k_and_solver() {
+    // k, solver, and seed define the trajectory being continued; no
+    // regrid target can alter them.
+    let input = test_input(28, 20, 31);
+    let cfg = config();
+    let mut src = session(&input, Algo::Hpc2D, 4, &cfg);
+    src.step();
+    let path = tmp_ckpt("regrid_pins");
+    src.save(&path).expect("checkpoint writes");
+    drop(src);
+    for (_, target) in regrid_targets() {
+        let resumed = Model::load_regrid(&path, &input, target).expect("loads");
+        assert_eq!(resumed.config().k, cfg.k);
+        assert_eq!(resumed.config().solver, cfg.solver);
+        assert_eq!(resumed.config().seed, cfg.seed);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn regrid_rejects_a_mismatched_input_shape() {
+    let input = test_input(28, 20, 31);
+    let mut src = session(&input, Algo::Hpc2D, 4, &config());
+    src.step();
+    let path = tmp_ckpt("regrid_shape");
+    src.save(&path).expect("checkpoint writes");
+    drop(src);
+    // The relaxed compatibility contract still pins the input shape:
+    // the factors are meaningless against a different matrix.
+    for other in [test_input(30, 20, 9), test_input(28, 22, 9)] {
+        let err = Model::load_regrid(&path, &other, RegridTarget::new().grid(Grid::new(2, 2)))
+            .expect_err("wrong shape must not regrid");
+        assert!(
+            matches!(err, NmfError::CheckpointMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn regrid_rejects_an_unfittable_target_grid() {
+    let input = test_input(28, 20, 31);
+    let mut src = session(&input, Algo::Hpc2D, 4, &config());
+    src.step();
+    let path = tmp_ckpt("regrid_toobig");
+    src.save(&path).expect("checkpoint writes");
+    drop(src);
+    // 16x16 over 28x20 leaves ranks without factor rows; the resume
+    // builder runs the full build validation, so the usual actionable
+    // error comes back instead of a bad session.
+    let err = Model::load_regrid(&path, &input, RegridTarget::new().grid(Grid::new(16, 16)))
+        .expect_err("unfittable grid must not build");
+    assert!(matches!(err, NmfError::GridTooLarge { .. }), "got {err:?}");
+    assert!(
+        !fitting_grids(28, 20, 256).contains(&Grid::new(16, 16)),
+        "fitting_grids must agree with the builder"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_builder_requires_an_input() {
+    let input = test_input(28, 20, 31);
+    let mut src = session(&input, Algo::Hpc2D, 4, &config());
+    src.step();
+    let path = tmp_ckpt("regrid_noinput");
+    src.save(&path).expect("checkpoint writes");
+    drop(src);
+    let ck = read_checkpoint(&path).expect("checkpoint reads");
+    let err = Nmf::resume_from(ck).build().expect_err("no input attached");
+    assert!(matches!(err, NmfError::MissingInput), "got {err:?}");
     std::fs::remove_file(&path).ok();
 }
 
